@@ -1,0 +1,29 @@
+"""Shared plumbing for the figure/table benchmark harnesses.
+
+Each bench regenerates one evaluation artifact, records the rendered
+rows under ``benchmarks/results/``, and registers the regeneration time
+with pytest-benchmark (run ``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.report import render_dict_rows
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_experiment(benchmark, name: str, fn, title: str,
+                   postprocess=None) -> list[dict]:
+    """Benchmark ``fn``, render its rows, persist and print them."""
+    rows = benchmark.pedantic(fn, rounds=1, iterations=1)
+    extra = postprocess(rows) if postprocess else ""
+    text = render_dict_rows(rows, title)
+    if extra:
+        text = f"{text}\n{extra}"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return rows

@@ -1,0 +1,63 @@
+"""Extra design-choice ablations called out in DESIGN.md."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_ablation_fused_allreduce(benchmark):
+    rows = run_experiment(
+        benchmark, "ablation_fused_allreduce", E.ablation_fused_allreduce,
+        "Ablation: fused AllReduce vs composed ReduceScatter + AllGather")
+    assert rows[1]["seconds"] > rows[0]["seconds"]
+
+
+def test_ablation_entangled_group_alignment(benchmark):
+    rows = run_experiment(
+        benchmark, "ablation_eg_alignment", E.ablation_eg_alignment,
+        "Ablation: entangled-group-aligned vs naive PE placement "
+        "(section III-B: partial bursts waste bus lanes)")
+    assert rows[1]["lane_utilization"] < rows[0]["lane_utilization"]
+
+
+def test_workload_variants(benchmark):
+    """Fig 15 with the paper's secondary configurations (MLP 32k,
+    DLRM embedding dim 32)."""
+    from repro.analysis.experiments import fig15_app_speedup
+    rows = run_experiment(
+        benchmark, "fig15_workload_variants",
+        lambda: fig15_app_speedup(include_variants=True),
+        "Figure 15 variants: MLP 16k/32k, DLRM emb 16/32")
+    by = {r["app"]: r["speedup"] for r in rows}
+    assert "MLP-32k" in by and "DLRM-e32" in by
+
+
+def test_autotune_shape(benchmark):
+    """Shape auto-tuning demo: best 2-D cube for an AllGather-heavy mix
+    (the Figure 20 / section VIII-G design-choice, automated)."""
+    from repro.analysis.autotune import autotune_shape
+    from repro.hw.system import DimmSystem
+
+    def tune():
+        system = DimmSystem.paper_testbed()
+        scores = autotune_shape(
+            system, 1024, 2,
+            [("allgather", "10", 8 << 20),
+             ("reduce_scatter", "10", 8 << 20)], min_dim=2)
+        return [{"shape": "x".join(map(str, s.shape)),
+                 "seconds": s.seconds} for s in scores[:5]]
+
+    rows = run_experiment(benchmark, "autotune_shapes", tune,
+                          "Auto-tuned hypercube shapes (best 5)")
+    assert len(rows) == 5
+
+
+def test_calibration_sensitivity(benchmark):
+    """Tornado analysis: which machine constants the headline result
+    actually depends on (robustness of the model-based reproduction)."""
+    from repro.analysis.sensitivity import parameter_sensitivity
+    rows = run_experiment(
+        benchmark, "sensitivity", lambda: parameter_sensitivity(),
+        "Sensitivity of the AlltoAll headline speedup to +-30% parameter "
+        "perturbations")
+    assert rows[0]["parameter"] == "bus_gbps_per_channel"

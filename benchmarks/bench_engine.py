@@ -1,0 +1,49 @@
+"""Simulator micro-benchmarks: functional collective execution speed.
+
+These are genuine performance benchmarks of the reproduction itself
+(how fast the simulator moves real bytes), useful for tracking
+regressions in the engine.
+"""
+
+import numpy as np
+
+from repro import FULL, HypercubeManager, pidcomm_allreduce, pidcomm_alltoall
+from repro.dtypes import INT64, SUM
+from repro.hw.system import DimmSystem
+
+
+def _setup(shape=(8, 4), elems_per_pe=256):
+    system = DimmSystem.small(mram_bytes=1 << 18)
+    manager = HypercubeManager(system, shape=shape)
+    total = elems_per_pe * 8
+    src = system.alloc(total)
+    dst = system.alloc(total)
+    rng = np.random.default_rng(0)
+    for pe in manager.all_pes:
+        system.write_elements(pe, src, rng.integers(0, 100, elems_per_pe),
+                              INT64)
+    return manager, total, src, dst
+
+
+def test_functional_alltoall_speed(benchmark):
+    manager, total, src, dst = _setup()
+    benchmark(pidcomm_alltoall, manager, "10", total, src, dst, INT64,
+              config=FULL)
+
+
+def test_functional_allreduce_speed(benchmark):
+    manager, total, src, dst = _setup()
+    benchmark(pidcomm_allreduce, manager, "10", total, src, dst, INT64,
+              SUM, config=FULL)
+
+
+def test_analytic_plan_estimation_speed(benchmark):
+    from repro.core.collectives import plan_allreduce
+    system = DimmSystem.paper_testbed()
+    manager = HypercubeManager(system, shape=(32, 32))
+
+    def estimate():
+        return plan_allreduce(manager, "10", 8 << 20, 0, 0, INT64,
+                              SUM).estimate(system).total
+
+    benchmark(estimate)

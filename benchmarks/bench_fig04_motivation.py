@@ -1,0 +1,17 @@
+"""Figure 4: execution-time breakdown of baseline applications.
+
+Paper: in all five applications communication consumes a substantial
+share, split between host-side data modulation, host memory traffic,
+and domain transfer.
+"""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig04_baseline_breakdown(benchmark):
+    rows = run_experiment(
+        benchmark, "fig04_motivation", E.fig04_motivation,
+        "Figure 4: baseline app breakdown (comm fraction + comm split)")
+    assert all(r["comm_frac"] > 0.3 for r in rows)

@@ -1,0 +1,13 @@
+"""Figure 13: per-primitive breakdown of each application."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig13_per_primitive_breakdown(benchmark):
+    rows = run_experiment(
+        benchmark, "fig13_app_breakdown", E.fig13_app_breakdown,
+        "Figure 13: app time by primitive, baseline vs PID-Comm "
+        "(paper: communication latency largely reduced; Ga/Br <= 7%)")
+    assert len(rows) == 12

@@ -1,0 +1,20 @@
+"""Figure 14: throughput of the eight supported primitives.
+
+Paper ((32,32) cube, throughput = larger data side / time):
+AlltoAll 5.19x, ReduceScatter 4.46x, AllReduce 4.23x speedups,
+geomean 2.83x; Broadcast ~1x (native driver already at peak).
+"""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig14_primitive_throughput(benchmark):
+    rows = run_experiment(
+        benchmark, "fig14_primitives", E.fig14_primitives,
+        "Figure 14: primitive throughput at (32,32), 8 MB/PE "
+        "(paper: AA 5.19x RS 4.46x AR 4.23x, geomean 2.83x, Br ~1x)")
+    by = {r["primitive"]: r["speedup"] for r in rows}
+    assert by["alltoall"] > 4.0
+    assert abs(by["broadcast"] - 1.0) < 0.05

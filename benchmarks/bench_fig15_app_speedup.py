@@ -1,0 +1,15 @@
+"""Figure 15: application speedups (paper: 1.20x-3.99x, geomean 1.99x)."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig15_app_speedups(benchmark):
+    rows = run_experiment(
+        benchmark, "fig15_app_speedup", E.fig15_app_speedup,
+        "Figure 15: app speedup over the baseline "
+        "(paper: 1.20x-3.99x, geomean 1.99x; DLRM least, CC most)")
+    speedups = {r["app"]: r["speedup"] for r in rows}
+    assert speedups["DLRM"] == min(v for k, v in speedups.items()
+                                   if k != "geomean")

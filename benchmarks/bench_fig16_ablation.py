@@ -1,0 +1,22 @@
+"""Figure 16: ablation of the three optimization techniques.
+
+Paper (geomean steps): PE-assisted reordering 1.48x, +in-register
+modulation 2.03x, +cross-domain modulation 1.42x (non-arithmetic
+primitives only).
+"""
+
+from repro.analysis import experiments as E
+from repro.analysis.report import render_dict_rows
+
+from _common import run_experiment
+
+
+def test_fig16_technique_ablation(benchmark):
+    rows = run_experiment(
+        benchmark, "fig16_ablation", E.fig16_ablation,
+        "Figure 16: throughput ladder (GB/s) Baseline -> +PR -> +IM -> +CM",
+        postprocess=lambda rows: render_dict_rows(
+            E.fig16_step_geomeans(rows),
+            "Technique step geomeans (paper: PR 1.48x, IM 2.03x, CM 1.42x)"))
+    for row in rows:
+        assert row["+CM"] >= row["Baseline"]

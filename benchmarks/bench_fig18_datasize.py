@@ -1,0 +1,19 @@
+"""Figure 18: data-size sensitivity (paper: speedup grows with size,
+reaching 2.89x geomean at 8 MB; 1-D AllGather baseline already fast)."""
+
+from repro.analysis import experiments as E
+from repro.analysis.report import geomean
+
+from _common import run_experiment
+
+
+def test_fig18_datasize_sweep(benchmark):
+    rows = run_experiment(
+        benchmark, "fig18_datasize", E.fig18_datasize,
+        "Figure 18: throughput vs payload (128 KB - 8 MB per PE)",
+        postprocess=lambda rows: "geomean speedup at 8 MB: %.2fx "
+        "(paper: 2.89x)" % geomean(
+            [r["speedup"] for r in rows if r["size_kb"] == 8192]))
+    big = [r["speedup"] for r in rows if r["size_kb"] == 8192]
+    small = [r["speedup"] for r in rows if r["size_kb"] == 128]
+    assert geomean(big) > geomean(small)

@@ -1,0 +1,14 @@
+"""Figure 19: PE-count scaling (paper: PID-Comm gains 2.36-4.20x from
+64 to 1024 PEs; the baseline is host-bound and does not scale)."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig19_pe_scaling(benchmark):
+    rows = run_experiment(
+        benchmark, "fig19_pe_scaling", E.fig19_pe_scaling,
+        "Figure 19: throughput vs number of PEs (2 MB per PE)")
+    aa = [r for r in rows if r["primitive"] == "alltoall"]
+    assert aa[-1]["pidcomm_gbps"] > 2 * aa[0]["pidcomm_gbps"]

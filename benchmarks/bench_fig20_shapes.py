@@ -1,0 +1,14 @@
+"""Figure 20: hypercube-shape sensitivity (paper: AA ~20.6 and AR ~12.2
+GB/s shape-independent; RS up to 17.8 and AG up to 36.1 GB/s with a
+longer x axis)."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig20_shape_sweep(benchmark):
+    rows = run_experiment(
+        benchmark, "fig20_shapes", E.fig20_shapes,
+        "Figure 20: 3-D shapes of 1024 PEs, communication along x (GB/s)")
+    assert rows[-1]["allgather"] > rows[0]["allgather"]

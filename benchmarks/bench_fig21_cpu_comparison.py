@@ -1,0 +1,17 @@
+"""Figure 21: comparison to the CPU-only system.
+
+Paper: PIM baseline 2.27x geomean over CPU, PID-Comm 4.07x; MLP peaks
+at 7.89x with 1024 PEs; CC's sweet spot is 64 PEs at 2.58x.
+"""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig21_cpu_comparison(benchmark):
+    rows = run_experiment(
+        benchmark, "fig21_cpu_comparison", E.fig21_cpu_comparison,
+        "Figure 21: speedup over CPU-only vs number of PEs")
+    mlp = {r["pes"]: r["pidcomm_x"] for r in rows if r["app"] == "MLP"}
+    assert mlp[1024] == max(mlp.values())

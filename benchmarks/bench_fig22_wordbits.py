@@ -1,0 +1,17 @@
+"""Figure 22: word-width sensitivity on GNN (paper: 8-bit elements let
+cross-domain modulation apply to the arithmetic primitives, giving a
+1.64x geomean speedup over the baseline)."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig22_word_bits(benchmark):
+    rows = run_experiment(
+        benchmark, "fig22_wordbits", E.fig22_wordbits,
+        "Figure 22: GNN across 8/32/64-bit elements")
+    for strategy in ("rs_ar", "ar_ag"):
+        series = [r for r in rows if r["strategy"] == strategy]
+        widths = {r["width"]: r["pidcomm_s"] for r in series}
+        assert widths["int8"] < widths["int32"] < widths["int64"]

@@ -1,0 +1,18 @@
+"""Figure 23a: virtual hypercube vs ring and tree topologies.
+
+Paper: with all PID-Comm optimizations applied to every topology, the
+ring is up to 2.05x and the tree up to 7.89x slower than the hypercube.
+"""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig23a_topologies(benchmark):
+    rows = run_experiment(
+        benchmark, "fig23a_topologies", E.fig23a_topologies,
+        "Figure 23a: 32x32 AllReduce by topology "
+        "(paper: ring <= 2.05x, tree <= 7.89x slower)")
+    slow = {r["topology"]: r["slowdown"] for r in rows}
+    assert slow["tree"] > slow["ring"] > 1.0

@@ -1,0 +1,18 @@
+"""Figure 23b: multi-host PID-Comm over 10 Gbps MPI.
+
+Paper: AllReduce ships 1/256th of the data (reduced first) so its MPI
+overhead is small; AlltoAll pays the full (N-1)/N crossing share, which
+grows with the host count.
+"""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_fig23b_multihost(benchmark):
+    rows = run_experiment(
+        benchmark, "fig23b_multihost", E.fig23b_multihost,
+        "Figure 23b: 1-4 hosts x 256 PEs, 2 MB per PE")
+    four = [r for r in rows if r["hosts"] == 4][0]
+    assert four["alltoall_mpi_s"] > four["allreduce_mpi_s"]

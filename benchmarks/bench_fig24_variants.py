@@ -1,0 +1,68 @@
+"""Figure 24 / section IX extensions: other PIM architectures + DSA.
+
+The paper sketches (without measuring) how PID-Comm adapts to HBM-PIM
+(no domain transfer), AxDIMM and CXL-NMP (partial local media handled
+hierarchically), and how a future DSA could offload the host data path.
+These benches regenerate the modelled comparison.
+"""
+
+from repro.core.collectives import FULL, plan_allreduce, plan_alltoall
+from repro.core.hypercube import HypercubeManager
+from repro.dtypes import INT64, SUM
+from repro.hw.system import DimmSystem
+from repro.variants import (
+    ARCHITECTURE_PROFILES,
+    dsa_offload_params,
+    variant_allreduce,
+    variant_alltoall,
+)
+
+from _common import run_experiment
+
+
+def _variant_rows():
+    rows = []
+    for name in ARCHITECTURE_PROFILES:
+        ar = variant_allreduce(name)
+        aa = variant_alltoall(name)
+        rows.append({
+            "architecture": ar["architecture"],
+            "host_units": ar["host_visible_units"],
+            "allreduce_s": ar["total_s"],
+            "alltoall_s": aa["total_s"],
+            "dt_share": (ar["dt_s"] / ar["total_s"]) if ar["total_s"] else 0,
+        })
+    return rows
+
+
+def test_fig24_architecture_variants(benchmark):
+    rows = run_experiment(
+        benchmark, "fig24_variants", _variant_rows,
+        "Section IX-A: PID-Comm AllReduce/AlltoAll on PIM variants "
+        "(1024 PEs, 1 MB per PE)")
+    by = {r["architecture"]: r for r in rows}
+    assert by["HBM-PIM"]["dt_share"] < 0.01
+    assert by["AxDIMM"]["allreduce_s"] < by["UPMEM"]["allreduce_s"]
+
+
+def _dsa_rows():
+    size = 8 << 20
+    rows = []
+    for label, params in (("host CPU", None),
+                          ("DSA offload", dsa_offload_params())):
+        system = DimmSystem.paper_testbed(params=params)
+        manager = HypercubeManager(system, shape=(32, 32))
+        ar = plan_allreduce(manager, "10", size, 0, 0, INT64, SUM,
+                            FULL).estimate(system).total
+        aa = plan_alltoall(manager, "10", size, 0, 0, INT64,
+                           FULL).estimate(system).total
+        rows.append({"data path": label, "allreduce_s": ar,
+                     "alltoall_s": aa})
+    return rows
+
+
+def test_dsa_offload_whatif(benchmark):
+    rows = run_experiment(
+        benchmark, "dsa_offload", _dsa_rows,
+        "Section IX-B: what-if a future DSA ran the host data path")
+    assert rows[1]["allreduce_s"] < rows[0]["allreduce_s"]

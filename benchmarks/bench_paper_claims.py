@@ -1,0 +1,14 @@
+"""The consolidated paper-vs-measured verdict table (EXPERIMENTS.md)."""
+
+from repro.analysis.paper_claims import evaluate_claims
+
+from _common import run_experiment
+
+
+def test_paper_claims_verdicts(benchmark):
+    rows = run_experiment(
+        benchmark, "paper_claims", evaluate_claims,
+        "Paper claims: reported value vs this reproduction")
+    strict_failures = [r for r in rows
+                       if r["strict"] and not r["within_tol"]]
+    assert not strict_failures

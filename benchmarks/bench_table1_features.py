@@ -1,0 +1,14 @@
+"""Table I: capability comparison against conventional frameworks."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_table1_capability_matrix(benchmark):
+    rows = run_experiment(
+        benchmark, "table1_features", E.table1,
+        "Table I: framework capabilities "
+        "(paper: only PID-Comm is multi-instance + optimized + complete)")
+    pid = [r for r in rows if r["framework"] == "PID-Comm"][0]
+    assert pid["multi_instance"]

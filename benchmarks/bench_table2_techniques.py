@@ -1,0 +1,28 @@
+"""Table II: which optimization technique applies to which primitive.
+
+Reproduced by introspection: the matrix is read off the planners'
+behaviour at each ablation rung, not hard-coded, so it certifies the
+implementation follows the paper's applicability rules.
+"""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_table2_applicability_matrix(benchmark):
+    rows = run_experiment(
+        benchmark, "table2_techniques", E.table2,
+        "Table II: technique applicability (introspected from planners)")
+    by = {r["primitive"]: r for r in rows}
+    # The paper's matrix, row for row.
+    assert by["alltoall"]["cross_domain_modulation"]
+    assert by["allgather"]["cross_domain_modulation"]
+    assert not by["reduce_scatter"]["cross_domain_modulation"]
+    assert not by["allreduce"]["cross_domain_modulation"]
+    assert all(by[p]["in_register_modulation"]
+               for p in ("alltoall", "reduce_scatter", "allgather",
+                         "allreduce", "scatter", "gather", "reduce"))
+    assert not by["broadcast"]["in_register_modulation"]
+    assert by["reduce"]["pe_assisted_reordering"]
+    assert not by["scatter"]["pe_assisted_reordering"]

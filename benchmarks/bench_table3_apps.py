@@ -1,0 +1,12 @@
+"""Table III: benchmark application characteristics."""
+
+from repro.analysis import experiments as E
+
+from _common import run_experiment
+
+
+def test_table3_applications(benchmark):
+    rows = run_experiment(
+        benchmark, "table3_apps", E.table3,
+        "Table III: benchmark applications (hypercube dims + primitives)")
+    assert len(rows) == 6

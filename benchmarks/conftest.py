@@ -1,0 +1,6 @@
+"""Make the benchmark helpers importable when pytest runs from the root."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,84 @@
+"""BFS and connected components on a simulated PIM system.
+
+Both applications iterate PE-local graph kernels with a global
+AllReduce (bitwise-or for BFS frontiers, min for CC labels) -- the
+communication pattern that makes graph analytics "PIM-unfriendly"
+without a fast collective library.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro import DimmSystem, HypercubeManager
+from repro.apps import (
+    BaselineCommBackend,
+    BfsApp,
+    BfsConfig,
+    CcApp,
+    CcConfig,
+    PidCommBackend,
+)
+from repro.apps.bfs import golden_bfs
+from repro.apps.cc import golden_cc
+from repro.data import random_graph, rmat_graph
+
+
+def bfs_demo() -> None:
+    print("=== BFS on a 64-vertex R-MAT graph, 32 PEs ===")
+    graph = rmat_graph(64, 400, seed=7)
+    app = BfsApp(graph, BfsConfig(source=0))
+    system = DimmSystem.small(mram_bytes=1 << 18)
+    manager = HypercubeManager(system, shape=(32,))
+    result = app.run(manager, PidCommBackend(), functional=True)
+    levels = result.output
+    print(f"levels match golden BFS : "
+          f"{np.array_equal(levels, golden_bfs(graph, 0))}")
+    print(f"reached {int((levels >= 0).sum())}/{len(levels)} vertices in "
+          f"{result.meta['iterations']} iterations")
+    print(f"modelled time: {result.seconds * 1e3:.2f} ms "
+          f"(comm {result.comm_seconds / result.seconds:.0%})")
+    print()
+
+
+def cc_demo() -> None:
+    print("=== Connected components on a sparse random graph ===")
+    graph = random_graph(64, 48, seed=3)
+    app = CcApp(graph, CcConfig())
+    system = DimmSystem.small(mram_bytes=1 << 18)
+    manager = HypercubeManager(system, shape=(32,))
+
+    pid = app.run(manager, PidCommBackend(), functional=True)
+    labels = pid.output
+    print(f"labels match golden CC  : "
+          f"{np.array_equal(labels, golden_cc(graph))}")
+    print(f"components found        : {len(np.unique(labels))}")
+
+    # The same application code runs against the baseline library.
+    base = CcApp(graph, CcConfig()).run(
+        HypercubeManager(DimmSystem.small(mram_bytes=1 << 18), shape=(32,)),
+        BaselineCommBackend(), functional=True)
+    print(f"baseline comm time      : {base.comm_seconds * 1e3:8.2f} ms")
+    print(f"PID-Comm comm time      : {pid.comm_seconds * 1e3:8.2f} ms "
+          f"({base.comm_seconds / pid.comm_seconds:.2f}x)")
+    print("(at this toy 64-vertex scale fixed launch overheads dominate,")
+    print(" so the extra PE-reorder kernels can even lose -- the per-byte")
+    print(" win needs real payloads; see the paper-scale run below)")
+    print()
+
+
+def paper_scale_demo() -> None:
+    print("=== Analytic: LiveJournal-scale CC on 1024 PEs ===")
+    from repro.analysis.workloads import paper_cc, testbed, app_manager
+    system = testbed()
+    manager = app_manager("CC", system, 1024)
+    base = paper_cc().run(manager, BaselineCommBackend(), functional=False)
+    pid = paper_cc().run(manager, PidCommBackend(), functional=False)
+    print(f"baseline {base.seconds:7.1f}s -> PID-Comm {pid.seconds:7.1f}s "
+          f"({base.seconds / pid.seconds:.2f}x; paper reports up to 3.99x)")
+
+
+if __name__ == "__main__":
+    bfs_demo()
+    cc_demo()
+    paper_scale_demo()

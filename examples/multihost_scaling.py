@@ -1,0 +1,64 @@
+"""Multi-host PID-Comm over a simulated 10 Gbps MPI fabric (section IX-A).
+
+Each host drives one UPMEM channel (256 PEs); local collectives run
+PID-Comm, the global phase runs MPI.  AllReduce ships only the locally
+reduced vector (1/256th of the data), AlltoAll pays the full (N-1)/N
+crossing share -- the asymmetry of Figure 23b.
+
+Run:  python examples/multihost_scaling.py
+"""
+
+import numpy as np
+
+from repro.core import reference as ref
+from repro.dtypes import INT64, SUM
+from repro.multihost import (
+    MultiHostSystem,
+    multihost_allreduce,
+    multihost_alltoall,
+)
+
+
+def functional_demo() -> None:
+    print("=== Functional: global AllReduce over 2 hosts x 64 PEs ===")
+    mh = MultiHostSystem(2, ranks_per_channel=1, mram_bytes=1 << 16)
+    elems = mh.pes_per_host
+    buf = mh.alloc(elems * 8)
+    out = mh.alloc(elems * 8)
+    rng = np.random.default_rng(0)
+    inputs = [rng.integers(0, 100, elems) for _ in range(mh.total_pes)]
+    for gpe, values in enumerate(inputs):
+        mh.write_pe(gpe, buf, values, INT64)
+    result = multihost_allreduce(mh, elems * 8, buf, out, INT64, SUM)
+    expect = ref.allreduce(inputs, SUM)[0]
+    got = result.outputs[1][0]  # host 1, local PE 0
+    print(f"every PE on every host holds the global sum: "
+          f"{np.array_equal(got, expect)}")
+    print(f"local time {result.ledger.total * 1e3:.2f} ms, "
+          f"MPI time {result.mpi_seconds * 1e3:.2f} ms")
+    print()
+
+
+def scaling_demo() -> None:
+    print("=== Analytic: 1-4 hosts x 256 PEs, 2 MB per PE ===")
+    payload = 2 << 20
+    print(f"{'hosts':>5s} {'AR local':>10s} {'AR mpi':>10s} "
+          f"{'AA local':>10s} {'AA mpi':>10s}")
+    for hosts in (1, 2, 3, 4):
+        mh = MultiHostSystem(hosts)
+        ar = multihost_allreduce(mh, payload, 0, 0, functional=False)
+        chunk = max(8, (payload // mh.total_pes) // 8 * 8)
+        aa = multihost_alltoall(MultiHostSystem(hosts),
+                                chunk * mh.total_pes, 0, 0,
+                                functional=False)
+        print(f"{hosts:>5d} {ar.ledger.total * 1e3:>8.1f}ms "
+              f"{ar.mpi_seconds * 1e3:>8.1f}ms "
+              f"{aa.ledger.total * 1e3:>8.1f}ms "
+              f"{aa.mpi_seconds * 1e3:>8.1f}ms")
+    print("\nAllReduce's MPI share stays tiny (data reduced 256-fold "
+          "before crossing); AlltoAll's grows with the host count.")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    scaling_demo()

@@ -1,0 +1,75 @@
+"""What-if hardware exploration with the cost model.
+
+The analytic simulator makes "what would PID-Comm gain from X" a
+one-liner: swap machine parameters and re-estimate. This example walks
+the questions the paper's discussion section raises -- more off-chip
+channels (section VIII-E calls them "a valuable resource"), a DSA
+offload of the host data path (section IX-B), and the other PIM
+architectures of Figure 24.
+
+Run:  python examples/whatif_hardware.py
+"""
+
+from repro import FULL, HypercubeManager, MachineParams
+from repro.analysis.trace import render_categories
+from repro.core.collectives import plan_allreduce, plan_alltoall
+from repro.dtypes import INT64, SUM
+from repro.hw.geometry import DimmGeometry
+from repro.hw.system import DimmSystem
+from repro.variants import ARCHITECTURE_PROFILES, dsa_offload_params, variant_allreduce
+
+
+def channels_sweep() -> None:
+    print("=== More off-chip channels (8 MB/PE AlltoAll, 1024 PEs) ===")
+    for channels in (2, 4, 8):
+        ranks = 16 // channels  # keep 1024 PEs
+        system = DimmSystem(DimmGeometry(channels, ranks, 8, 8),
+                            mram_bytes=64 << 20)
+        manager = HypercubeManager(system, shape=(32, 32))
+        seconds = plan_alltoall(manager, "10", 8 << 20, 0, 0, INT64,
+                                FULL).estimate(system).total
+        print(f"{channels} channels: {seconds * 1e3:7.1f} ms")
+    print("(PID-Comm is bus-bound, so channels pay off; the baseline "
+          "is host-bound and would not move -- Figure 19's point)\n")
+
+
+def dsa_whatif() -> None:
+    print("=== DSA offload of the host data path (AllReduce) ===")
+    for label, params in (("host CPU  ", None),
+                          ("future DSA", dsa_offload_params())):
+        system = DimmSystem.paper_testbed(params=params)
+        manager = HypercubeManager(system, shape=(32, 32))
+        plan = plan_allreduce(manager, "10", 8 << 20, 0, 0, INT64, SUM,
+                              FULL)
+        print(f"--- {label} ---")
+        print(render_categories(plan, system))
+    print()
+
+
+def architecture_tour() -> None:
+    print("=== PID-Comm on other PIM architectures (1 MB/PE AllReduce) ===")
+    for name, profile in ARCHITECTURE_PROFILES.items():
+        row = variant_allreduce(name)
+        print(f"{profile.name:<8s} {row['total_s'] * 1e3:7.1f} ms "
+              f"(local {row['local_s'] * 1e3:6.1f} + host "
+              f"{row['global_s'] * 1e3:6.1f}; dt {row['dt_s'] * 1e3:5.1f}) "
+              f"- {profile.notes}")
+
+
+def custom_params() -> None:
+    print("\n=== Rolling your own machine ===")
+    faster_host = MachineParams().scaled(host_cores=32,
+                                         host_mem_gbps=120.0)
+    system = DimmSystem.paper_testbed(params=faster_host)
+    manager = HypercubeManager(system, shape=(32, 32))
+    t = plan_allreduce(manager, "10", 8 << 20, 0, 0, INT64, SUM,
+                       FULL).estimate(system).total
+    print(f"32-core host, 120 GB/s DRAM: AllReduce {t * 1e3:.1f} ms "
+          "(vs ~595 ms on the paper's Xeon Gold 5215)")
+
+
+if __name__ == "__main__":
+    channels_sweep()
+    dsa_whatif()
+    architecture_tour()
+    custom_params()

@@ -1,0 +1,49 @@
+"""PID-Comm reproduction: collective communication for PIM-enabled DIMMs.
+
+A faithful functional + analytic reimplementation of *PID-Comm: A Fast
+and Flexible Collective Communication Framework for Commodity
+Processing-in-DIMM Devices* (ISCA 2024) on a simulated UPMEM-like
+substrate.
+
+Quickstart::
+
+    from repro import DimmSystem, HypercubeManager, pidcomm_allreduce
+
+    system = DimmSystem.paper_testbed()
+    manager = HypercubeManager(system, shape=(32, 32))
+    buf = system.alloc(1 << 12)
+    out = system.alloc(1 << 12)
+    result = pidcomm_allreduce(manager, "11", 1 << 12, buf, out,
+                               data_type="int64", functional=False)
+    print(f"modelled time: {result.seconds * 1e3:.3f} ms")
+"""
+
+from .core.api import (
+    ALL_PRIMITIVES,
+    CommResult,
+    pidcomm_allgather,
+    pidcomm_allreduce,
+    pidcomm_alltoall,
+    pidcomm_broadcast,
+    pidcomm_gather,
+    pidcomm_reduce,
+    pidcomm_reduce_scatter,
+    pidcomm_scatter,
+)
+from .core.collectives import ABLATION_LADDER, BASELINE, FULL, PR_IM, PR_ONLY, OptConfig
+from .core.hypercube import HypercubeManager
+from .dtypes import ALL_OPS, ALL_TYPES, dtype_by_name, op_by_name
+from .errors import PidCommError
+from .hw import DimmGeometry, DimmSystem, MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
+    "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
+    "CommResult", "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",
+    "dtype_by_name", "op_by_name", "PidCommError",
+    "pidcomm_alltoall", "pidcomm_allgather", "pidcomm_reduce_scatter",
+    "pidcomm_allreduce", "pidcomm_scatter", "pidcomm_gather",
+    "pidcomm_reduce", "pidcomm_broadcast",
+]

@@ -1,0 +1,6 @@
+"""Experiment harnesses regenerating every table and figure."""
+
+from .report import geomean, render_table
+from . import experiments
+
+__all__ = ["geomean", "render_table", "experiments"]

@@ -1,0 +1,88 @@
+"""Hypercube shape auto-tuning.
+
+The paper shows that primitive throughput depends on the cube shape
+(Figure 20) and that "the configuration on PIM-based systems has to be
+carefully chosen" (section VIII-G).  Because plans are cheap to price,
+the best shape for a given communication mix can simply be searched:
+
+    mix = [("reduce_scatter", "100", 8 << 20), ("allgather", "100", ...)]
+    best = autotune_shape(system, num_pes=1024, ndim=3, mix=mix)
+
+Every factorization of ``num_pes`` into ``ndim`` power-of-two-but-last
+dimensions is estimated and the cheapest returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.hypercube import HypercubeManager
+from ..errors import HypercubeError, PidCommError
+from ..hw.system import DimmSystem
+from .experiments import _pid_plan
+
+
+@dataclass(frozen=True)
+class ShapeScore:
+    """Estimated cost of one candidate shape."""
+
+    shape: tuple[int, ...]
+    seconds: float
+
+
+def candidate_shapes(num_pes: int, ndim: int) -> Iterator[tuple[int, ...]]:
+    """All ordered factorizations of ``num_pes`` into ``ndim`` dims.
+
+    All dimensions except the last must be powers of two (the
+    hypercube's rule); the last may be any factor, which covers
+    non-power-of-two channel counts.
+    """
+    if ndim < 1:
+        raise PidCommError("ndim must be >= 1")
+    if ndim == 1:
+        yield (num_pes,)
+        return
+    length = 1
+    while length <= num_pes:
+        if num_pes % length == 0:
+            for rest in candidate_shapes(num_pes // length, ndim - 1):
+                yield (length,) + rest
+        length *= 2
+
+
+def autotune_shape(system: DimmSystem, num_pes: int, ndim: int,
+                   mix: Sequence[tuple[str, str, int]],
+                   min_dim: int = 1) -> list[ShapeScore]:
+    """Rank all candidate shapes by the modelled cost of a workload mix.
+
+    Args:
+        system: The target system (cost parameters + geometry).
+        num_pes: PEs the hypercube must cover.
+        ndim: Number of hypercube dimensions.
+        mix: Sequence of ``(primitive, dims_bitmap, payload_bytes)``
+            invocations making up one round of the workload.
+        min_dim: Discard shapes with any dimension shorter than this.
+
+    Returns:
+        Scores sorted cheapest-first (the head is the recommendation).
+    """
+    if not mix:
+        raise PidCommError("autotune needs a non-empty communication mix")
+    scores = []
+    for shape in candidate_shapes(num_pes, ndim):
+        if min(shape) < min_dim:
+            continue
+        try:
+            manager = HypercubeManager(system, shape=shape)
+            total = 0.0
+            for primitive, dims, payload in mix:
+                plan = _pid_plan(primitive, manager, dims, payload)
+                total += plan.estimate(system).total
+        except (HypercubeError, PidCommError):
+            continue  # shape incompatible with the mix (e.g. indivisible)
+        scores.append(ShapeScore(shape=shape, seconds=total))
+    if not scores:
+        raise PidCommError(
+            "no candidate shape was compatible with the workload mix")
+    return sorted(scores, key=lambda s: s.seconds)

@@ -1,0 +1,102 @@
+"""Persist and compare experiment results (JSON).
+
+``save_results`` writes an experiment's rows plus provenance (machine
+parameters, package version) so runs can be archived and diffed;
+``compare_results`` reports per-cell relative drift between two runs --
+the regression check for cost-model changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Sequence
+
+from .. import __version__
+from ..errors import PidCommError
+from ..hw.timing import MachineParams
+
+SCHEMA_VERSION = 1
+
+
+def save_results(path: str | Path, experiment: str, rows: Sequence[dict],
+                 params: MachineParams | None = None) -> Path:
+    """Write rows + provenance as JSON; returns the written path."""
+    path = Path(path)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "experiment": experiment,
+        "version": __version__,
+        "generated": datetime.now(timezone.utc).isoformat(),
+        "machine_params": dataclasses.asdict(params or MachineParams()),
+        "rows": list(rows),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a result file, validating the schema."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise PidCommError(
+            f"unsupported result schema {payload.get('schema')!r} "
+            f"in {path}")
+    if "rows" not in payload or "experiment" not in payload:
+        raise PidCommError(f"malformed result file {path}")
+    return payload
+
+
+def compare_results(old: dict, new: dict, rel_tol: float = 0.02
+                    ) -> list[dict]:
+    """Cell-wise relative drift between two result payloads.
+
+    Rows are matched positionally (experiments are deterministic);
+    returns one record per numeric cell whose drift exceeds
+    ``rel_tol``.  An empty list means no regression.
+    """
+    if old["experiment"] != new["experiment"]:
+        raise PidCommError(
+            f"comparing different experiments: {old['experiment']!r} "
+            f"vs {new['experiment']!r}")
+    drifts = []
+    for index, (row_old, row_new) in enumerate(zip(old["rows"],
+                                                   new["rows"])):
+        for key, value_old in row_old.items():
+            if not isinstance(value_old, (int, float)) \
+                    or isinstance(value_old, bool):
+                continue
+            value_new = row_new.get(key)
+            if value_new is None:
+                drifts.append({"row": index, "column": key,
+                               "old": value_old, "new": None,
+                               "drift": float("inf")})
+                continue
+            base = max(abs(value_old), 1e-12)
+            drift = abs(value_new - value_old) / base
+            if drift > rel_tol:
+                drifts.append({"row": index, "column": key,
+                               "old": value_old, "new": value_new,
+                               "drift": round(drift, 4)})
+    if len(old["rows"]) != len(new["rows"]):
+        drifts.append({"row": -1, "column": "(row count)",
+                       "old": len(old["rows"]), "new": len(new["rows"]),
+                       "drift": float("inf")})
+    return drifts
+
+
+def export_all(directory: str | Path,
+               names: Sequence[str] | None = None) -> list[Path]:
+    """Regenerate experiments and save each as ``<dir>/<name>.json``."""
+    from ..__main__ import EXPERIMENTS
+    directory = Path(directory)
+    written = []
+    for name, (fn, _title) in EXPERIMENTS.items():
+        if names and name not in names:
+            continue
+        rows = fn()
+        written.append(save_results(directory / f"{name}.json", name, rows))
+    return written

@@ -1,0 +1,76 @@
+"""Calibration sensitivity: how robust are the headline results?
+
+A model-based reproduction owes its readers an answer to "what if your
+machine constants are off?".  ``parameter_sensitivity`` perturbs each
+cost-model parameter by a factor and reports how the headline AlltoAll
+speedup (Figure 14's flagship number) moves -- a tornado analysis over
+:class:`~repro.hw.timing.MachineParams`.
+
+Parameters whose perturbation barely moves the result cannot have been
+the source of the reproduction's agreement with the paper; the ones
+that move it most are exactly the ones the calibration pinned against
+published numbers (see docs/cost_model.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Sequence
+
+from ..core.collectives import FULL, plan_alltoall
+from ..core.hypercube import HypercubeManager
+from ..baselines import baseline_plan
+from ..dtypes import INT64, SUM
+from ..hw.system import DimmSystem
+from ..hw.timing import MachineParams
+
+#: Parameters meaningfully perturbable (rates and overheads; not counts).
+TUNABLE_FIELDS = (
+    "bus_gbps_per_channel", "dt_gbps_per_core",
+    "mod_scalar_gbps_per_core", "mod_local_gbps_per_core",
+    "mod_simd_gbps_per_core", "mod_shuffle_gbps_per_core",
+    "reduce_simd_gbps_per_core", "reduce_scalar_gbps_per_core",
+    "host_mem_gbps", "pe_mram_gbps", "pe_ops_per_sec",
+    "collective_launch_s", "kernel_launch_s",
+)
+
+
+def _headline_speedup(params: MachineParams, payload: int) -> float:
+    system = DimmSystem.paper_testbed(params=params)
+    manager = HypercubeManager(system, shape=(32, 32))
+    base = baseline_plan("alltoall", manager, "10", payload, 0, 0,
+                         INT64, SUM).estimate(system).total
+    pid = plan_alltoall(manager, "10", payload, 0, 0, INT64,
+                        FULL).estimate(system).total
+    return base / pid
+
+
+def parameter_sensitivity(factor: float = 1.3,
+                          payload: int = 8 << 20,
+                          field_names: Sequence[str] = TUNABLE_FIELDS
+                          ) -> list[dict]:
+    """Perturb each parameter by ``factor`` up and down.
+
+    Returns one row per parameter with the headline AlltoAll speedup at
+    baseline, scaled-up, and scaled-down values, sorted by swing.
+    """
+    base_params = MachineParams()
+    valid = {f.name for f in fields(MachineParams)}
+    baseline = _headline_speedup(base_params, payload)
+    rows = []
+    for name in field_names:
+        if name not in valid:
+            raise ValueError(f"unknown MachineParams field {name!r}")
+        value = getattr(base_params, name)
+        up = _headline_speedup(
+            base_params.scaled(**{name: value * factor}), payload)
+        down = _headline_speedup(
+            base_params.scaled(**{name: value / factor}), payload)
+        rows.append({
+            "parameter": name,
+            "baseline_x": round(baseline, 3),
+            "scaled_up_x": round(up, 3),
+            "scaled_down_x": round(down, 3),
+            "swing": round(abs(up - down), 3),
+        })
+    return sorted(rows, key=lambda r: r["swing"], reverse=True)

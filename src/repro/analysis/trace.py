@@ -1,0 +1,91 @@
+"""Plan tracing: per-step cost timelines and category charts (text).
+
+``trace_plan`` prices every step of a plan individually and renders a
+timeline like::
+
+    CommPlan(allreduce)                          total 601.7 ms
+    0 Launch x1                    |  0.5 ms
+    1 PeReorder[rotate_left_rank]  | 11.2 ms  ##
+    2 ReduceExchange[inregister]   |401.3 ms  ######################
+    3 FanoutFromHost[inregister]   |170.1 ms  #########
+    4 PeReorder[reflect_rank]      | 11.2 ms  ##
+
+plus a per-category bar chart -- the same decomposition Figure 17
+plots, but for one concrete invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.collectives.plan import CommPlan
+from ..hw.system import DimmSystem
+from ..hw.timing import CATEGORIES, CostLedger
+
+_BAR_WIDTH = 40
+
+
+@dataclass
+class StepTrace:
+    """Priced record of one plan step."""
+
+    index: int
+    label: str
+    ledger: CostLedger
+
+    @property
+    def seconds(self) -> float:
+        return self.ledger.total
+
+
+def trace_plan(plan: CommPlan, system: DimmSystem) -> list[StepTrace]:
+    """Price each step of ``plan`` individually."""
+    return [StepTrace(index=i, label=step.describe(),
+                      ledger=step.cost(system))
+            for i, step in enumerate(plan.steps)]
+
+
+def _bar(value: float, maximum: float, width: int = _BAR_WIDTH) -> str:
+    if maximum <= 0:
+        return ""
+    return "#" * max(0, round(width * value / maximum))
+
+
+def render_timeline(plan: CommPlan, system: DimmSystem) -> str:
+    """Render a per-step timeline of the plan's modelled time."""
+    traces = trace_plan(plan, system)
+    total = sum(t.seconds for t in traces)
+    label_width = max((len(t.label) for t in traces), default=0)
+    lines = [f"CommPlan({plan.primitive})"
+             f"{'':{max(1, label_width - len(plan.primitive) - 4)}s}"
+             f"total {total * 1e3:.3f} ms"]
+    longest = max((t.seconds for t in traces), default=0.0)
+    for t in traces:
+        lines.append(
+            f"{t.index:>2d} {t.label:<{label_width}s} "
+            f"|{t.seconds * 1e3:>9.3f} ms  {_bar(t.seconds, longest)}")
+    return "\n".join(lines)
+
+
+def render_categories(plan: CommPlan, system: DimmSystem) -> str:
+    """Render the plan's per-category breakdown as a bar chart."""
+    ledger = plan.estimate(system)
+    breakdown = ledger.breakdown()
+    if not breakdown:
+        return "(empty plan)"
+    longest = max(breakdown.values())
+    width = max(len(c) for c in CATEGORIES)
+    lines = [f"total {ledger.total * 1e3:.3f} ms"]
+    for category, seconds in breakdown.items():
+        share = seconds / ledger.total
+        lines.append(f"{category:<{width}s} {seconds * 1e3:>9.3f} ms "
+                     f"{share:>5.1%}  {_bar(seconds, longest)}")
+    return "\n".join(lines)
+
+
+def dominant_category(plan: CommPlan, system: DimmSystem) -> str:
+    """The category the plan spends most of its modelled time in."""
+    breakdown = plan.estimate(system).breakdown()
+    if not breakdown:
+        return "none"
+    return max(breakdown, key=breakdown.get)

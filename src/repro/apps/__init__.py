@@ -1,0 +1,23 @@
+"""The paper's five benchmark applications (section VII)."""
+
+from .base import (
+    AppHarness,
+    AppResult,
+    BaselineCommBackend,
+    CommBackend,
+    PidCommBackend,
+)
+from .mlp import MlpApp, MlpConfig
+from .bfs import BfsApp, BfsConfig
+from .cc import CcApp, CcConfig
+from .gnn import GnnApp, GnnConfig
+from .dlrm import DlrmApp, DlrmConfig
+from .registry import APP_REGISTRY, app_table
+
+__all__ = [
+    "AppHarness", "AppResult", "CommBackend", "PidCommBackend",
+    "BaselineCommBackend",
+    "MlpApp", "MlpConfig", "BfsApp", "BfsConfig", "CcApp", "CcConfig",
+    "GnnApp", "GnnConfig", "DlrmApp", "DlrmConfig",
+    "APP_REGISTRY", "app_table",
+]

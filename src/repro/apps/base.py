@@ -1,0 +1,220 @@
+"""Application harness: communication backends + per-primitive accounting.
+
+Every benchmark application runs against a :class:`CommBackend`, which
+decides whether collectives use PID-Comm or the evaluation baseline --
+the application code is identical either way (exactly the promise of a
+communication *library*).  The harness records a cost ledger per
+primitive, which is what the paper's per-application breakdown figures
+(4 and 13) plot.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..baselines.simplepim import baseline_plan
+from ..core.api import _reduced_vector
+from ..core.collectives import (
+    FULL,
+    GATHER_SCRATCH,
+    REDUCE_SCRATCH,
+    CommPlan,
+    OptConfig,
+    plan_allgather,
+    plan_allreduce,
+    plan_alltoall,
+    plan_broadcast,
+    plan_gather,
+    plan_reduce,
+    plan_reduce_scatter,
+    plan_scatter,
+)
+from ..core.hypercube import HypercubeManager
+from ..dtypes import DataType, INT64, ReduceOp, SUM
+from ..errors import AppError
+from ..hw.timing import CostLedger
+
+
+class CommBackend(abc.ABC):
+    """Builds collective plans; the strategy applications run against."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build_plan(self, primitive: str, manager: HypercubeManager,
+                   dims: str, total_data_size: int, src: int = 0,
+                   dst: int = 0, dtype: DataType = INT64,
+                   op: ReduceOp = SUM,
+                   payloads: Mapping[int, np.ndarray] | None = None
+                   ) -> CommPlan:
+        """Compile one collective invocation into a plan."""
+
+
+class PidCommBackend(CommBackend):
+    """Collectives through PID-Comm (optionally at an ablation level)."""
+
+    def __init__(self, config: OptConfig = FULL) -> None:
+        self.config = config
+        self.name = f"pidcomm[{config.label}]"
+
+    def build_plan(self, primitive, manager, dims, total_data_size,
+                   src=0, dst=0, dtype=INT64, op=SUM, payloads=None):
+        cfg = self.config
+        if primitive == "alltoall":
+            return plan_alltoall(manager, dims, total_data_size, src, dst,
+                                 dtype, cfg)
+        if primitive == "allgather":
+            return plan_allgather(manager, dims, total_data_size, src, dst,
+                                  dtype, cfg)
+        if primitive == "reduce_scatter":
+            return plan_reduce_scatter(manager, dims, total_data_size, src,
+                                       dst, dtype, op, cfg)
+        if primitive == "allreduce":
+            return plan_allreduce(manager, dims, total_data_size, src, dst,
+                                  dtype, op, cfg)
+        if primitive == "gather":
+            return plan_gather(manager, dims, total_data_size, src, dtype, cfg)
+        if primitive == "scatter":
+            return plan_scatter(manager, dims, total_data_size, dst, dtype,
+                                payloads, cfg)
+        if primitive == "reduce":
+            return plan_reduce(manager, dims, total_data_size, src, dtype,
+                               op, cfg)
+        if primitive == "broadcast":
+            return plan_broadcast(manager, dims, total_data_size, dst, dtype,
+                                  payloads, cfg)
+        raise AppError(f"unknown primitive {primitive!r}")
+
+
+class BaselineCommBackend(CommBackend):
+    """Collectives through the SimplePIM/conventional baseline."""
+
+    name = "baseline"
+
+    def build_plan(self, primitive, manager, dims, total_data_size,
+                   src=0, dst=0, dtype=INT64, op=SUM, payloads=None):
+        return baseline_plan(primitive, manager, dims, total_data_size,
+                             src, dst, dtype, op, payloads)
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    app: str
+    backend: str
+    ledger: CostLedger
+    #: primitive (or "kernel") -> modelled seconds.
+    per_primitive: dict[str, float]
+    #: functional outputs for validation (None in analytic runs).
+    output: Any = None
+    #: free-form run metadata (config echo, iteration counts, ...).
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.ledger.total
+
+    @property
+    def comm_seconds(self) -> float:
+        """Time in communication (everything except kernels)."""
+        return self.seconds - self.per_primitive.get("kernel", 0.0)
+
+
+class AppHarness:
+    """Per-run accounting shared by all applications."""
+
+    def __init__(self, manager: HypercubeManager, backend: CommBackend,
+                 functional: bool = True) -> None:
+        self.manager = manager
+        self.system = manager.system
+        self.backend = backend
+        self.functional = functional
+        self.ledger = CostLedger()
+        self.per_primitive: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def comm(self, primitive: str, dims: str, total_data_size: int,
+             src: int = 0, dst: int = 0, dtype: DataType = INT64,
+             op: ReduceOp = SUM,
+             payloads: Mapping[int, np.ndarray] | None = None):
+        """Run one collective; returns host outputs for rooted primitives."""
+        plan = self.backend.build_plan(
+            primitive, self.manager, dims, total_data_size, src, dst,
+            dtype, op, payloads if self.functional else None)
+        ledger, ctx = plan.run(self.system, functional=self.functional)
+        self.ledger.merge(ledger)
+        self.per_primitive[primitive] = (
+            self.per_primitive.get(primitive, 0.0) + ledger.total)
+        if ctx is None:
+            return None
+        if primitive == "gather":
+            return self._typed_outputs(ctx.scratch.get(GATHER_SCRATCH), dtype)
+        if primitive == "reduce":
+            outputs = ctx.scratch.get(REDUCE_SCRATCH)
+            if outputs is None:  # baseline reduce stores under its own key
+                outputs = ctx.scratch.get("reduce.out")
+            if outputs is None:
+                return None
+            return {inst: np.asarray(_reduced_vector(buf, dtype)).view(
+                dtype.np_dtype).reshape(-1)
+                for inst, buf in outputs.items()}
+        return None
+
+    def comm_cost_only(self, primitive: str, dims: str,
+                       total_data_size: int, src: int = 0, dst: int = 0,
+                       dtype: DataType = INT64, op: ReduceOp = SUM) -> None:
+        """Charge a collective without moving data.
+
+        For transfers whose *content* is kernel-private state the
+        simulator keeps host-side (e.g. the scattered adjacency
+        slices): the cost is modelled, the bytes are not re-staged.
+        """
+        plan = self.backend.build_plan(
+            primitive, self.manager, dims, total_data_size, src, dst,
+            dtype, op, None)
+        ledger = plan.estimate(self.system)
+        self.ledger.merge(ledger)
+        self.per_primitive[primitive] = (
+            self.per_primitive.get(primitive, 0.0) + ledger.total)
+
+    def _typed_outputs(self, outputs, dtype: DataType):
+        if outputs is None:
+            return None
+        return {inst: np.asarray(buf, dtype=np.uint8).view(dtype.np_dtype)
+                for inst, buf in outputs.items()}
+
+    # ------------------------------------------------------------------
+    # PE kernels
+    # ------------------------------------------------------------------
+    def kernel(self, name: str, ops_per_pe: float = 0.0,
+               bytes_per_pe: float = 0.0, launches: int = 1) -> None:
+        """Charge one PE-kernel phase (PEs run in parallel).
+
+        ``ops_per_pe``/``bytes_per_pe`` should be the *maximum* over PEs
+        (the lockstep launch waits for the slowest PE).
+        """
+        params = self.system.params
+        seconds = (params.pe_compute_time(ops_per_pe)
+                   + params.pe_stream_time(bytes_per_pe, passes=1) / 2
+                   + launches * params.kernel_launch_s)
+        self.ledger.add("kernel", seconds)
+        self.per_primitive["kernel"] = (
+            self.per_primitive.get("kernel", 0.0) + seconds)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, app: str, output: Any = None,
+               **meta: Any) -> AppResult:
+        """Package the accumulated run into an :class:`AppResult`."""
+        return AppResult(app=app, backend=self.backend.name,
+                         ledger=self.ledger,
+                         per_primitive=dict(self.per_primitive),
+                         output=output, meta=meta)

@@ -1,0 +1,246 @@
+"""Deep learning recommendation model on PIM-enabled DIMMs (section VII-A).
+
+The DLRM embedding stage is split three ways and mapped onto a 3-D
+hypercube exactly as Figure 11 describes: embedding *columns* over the
+x axis, table *rows* over the y axis, and *tables* over the z axis.
+One inference batch flows as:
+
+1. Broadcast the multi-hot lookup indices to all PEs.
+2. Lookup kernel: each PE pools the rows it owns (row-wise parallel
+   pooling yields *partial* sums).
+3. ReduceScatter along y completes the pooled embeddings and shards the
+   batch over y (the paper's "row-wise parallelism" step).
+4. AlltoAll over the xz plane regroups (table, column) slices into full
+   per-sample feature vectors for the top MLP.
+5. Top-MLP kernel on each PE's batch sub-shard; Gather returns scores.
+
+Communication set: BC + SC-like routing, RS, AA, GA -- matching
+Table III's DLRM row.  Functional runs use integer embeddings and are
+validated bit-exactly against a golden pooled-embedding + MLP model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hypercube import HypercubeManager
+from ..data.synthetic import CriteoLikeDataset, embedding_tables
+from ..dtypes import INT64
+from ..errors import AppError
+from .base import AppHarness, CommBackend
+
+
+@dataclass(frozen=True)
+class DlrmConfig:
+    """DLRM model shape."""
+
+    embedding_dim: int = 16
+    mlp_hidden: int = 8
+    seed: int = 0
+
+
+def golden_dlrm(data: CriteoLikeDataset, tables: np.ndarray,
+                w1: np.ndarray, w2: np.ndarray) -> np.ndarray:
+    """Reference scores: pooled embeddings -> relu MLP -> linear."""
+    batch, num_tables, _ = data.indices.shape
+    dim = tables.shape[2]
+    pooled = np.zeros((batch, num_tables, dim), dtype=np.int64)
+    for s in range(batch):
+        for t in range(num_tables):
+            pooled[s, t] = tables[t, data.indices[s, t]].sum(axis=0)
+    flat = pooled.reshape(batch, num_tables * dim)
+    hidden = np.maximum(flat @ w1, 0)
+    return hidden @ w2
+
+
+class DlrmApp:
+    """The DLRM benchmark application."""
+
+    name = "DLRM"
+    hypercube_dims = 3
+    primitives = ("broadcast", "reduce_scatter", "alltoall", "gather",
+                  "scatter")
+
+    def __init__(self, data: CriteoLikeDataset, config: DlrmConfig) -> None:
+        self.data = data
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def run(self, manager: HypercubeManager, backend: CommBackend,
+            functional: bool = True):
+        """Run one inference batch; functional runs return the scores."""
+        cfg = self.config
+        if manager.ndim != 3:
+            raise AppError("DLRM expects a 3-D hypercube (cols, rows, tables)")
+        cx, cy, cz = manager.shape.dims
+        data = self.data
+        b, t_all, hots = data.indices.shape
+        e = cfg.embedding_dim
+        r = data.num_rows
+        if e % cx or r % cy or t_all % cz:
+            raise AppError(
+                f"DLRM shape mismatch: dim {e} % {cx}, rows {r} % {cy}, "
+                f"tables {t_all} % {cz} must all be 0")
+        if b % cy:
+            raise AppError(f"batch {b} must divide over {cy} row shards")
+        plane = cx * cz
+        bs_y = b // cy                 # batch shard after ReduceScatter
+        if bs_y % plane:
+            raise AppError(
+                f"batch shard {bs_y} must divide over the {plane}-PE xz plane")
+        bs_final = bs_y // plane       # samples per PE for the top MLP
+        ec = e // cx                   # embedding columns per PE
+        tz = t_all // cz               # tables per PE
+        feat = t_all * e               # full feature width per sample
+
+        harness = AppHarness(manager, backend, functional)
+        system = manager.system
+
+        # Per-PE buffer sizes (in elements).
+        partial_elems = b * tz * ec           # pooled partials, all samples
+        shard_elems = bs_y * tz * ec          # after ReduceScatter
+        full_elems = bs_y * tz * ec           # AlltoAll is size-preserving
+        mlp_in_elems = bs_final * feat
+
+        idx_bytes = b * t_all * hots * 8
+        part_buf = system.alloc(partial_elems * 8) if functional else 0
+        shard_buf = system.alloc(shard_elems * 8) if functional else 0
+        aa_buf = system.alloc(full_elems * 8) if functional else 0
+        score_buf = system.alloc(max(8, bs_final * 8)) if functional else 0
+
+        rng = np.random.default_rng(cfg.seed)
+        tables = w1 = w2 = None
+        if functional:
+            tables = embedding_tables(t_all, r, e, seed=cfg.seed)
+            w1 = rng.integers(-2, 3, (feat, cfg.mlp_hidden)).astype(np.int64)
+            w2 = rng.integers(-2, 3, (cfg.mlp_hidden, 1)).astype(np.int64)
+
+        # 1. Broadcast the lookup indices to every PE.
+        if functional:
+            harness.comm("broadcast", "111", idx_bytes,
+                         payloads={0: data.indices.reshape(-1)})
+        else:
+            harness.comm("broadcast", "111", idx_bytes)
+
+        # 2. Lookup kernel: pool owned rows (partial sums over y shards).
+        lookup_bytes = b * tz * hots / cy * ec * 8
+        harness.kernel("lookup", ops_per_pe=b * tz * hots / cy * ec,
+                       bytes_per_pe=2.0 * lookup_bytes + partial_elems * 8)
+        if functional:
+            self._lookup(manager, system, tables, part_buf, b, tz, ec, hots,
+                         cy)
+
+        # 3. ReduceScatter along y: complete the pools, shard the batch.
+        harness.comm("reduce_scatter", "010", partial_elems * 8,
+                     src=part_buf, dst=shard_buf)
+
+        # 4. AlltoAll over the xz plane: feature slices -> full vectors.
+        # The RS output is already ordered [sample, table, col] with
+        # samples contiguous, so its plane sub-shards line up exactly
+        # with the AlltoAll chunk boundaries -- no extra local shuffle.
+        harness.comm("alltoall", "101", shard_elems * 8, src=shard_buf,
+                     dst=aa_buf)
+
+        # 5. Top MLP on each PE's sub-shard of samples (software MACs).
+        mlp_flops = 7.0 * bs_final * (feat * cfg.mlp_hidden + cfg.mlp_hidden)
+        harness.kernel("top_mlp", ops_per_pe=mlp_flops,
+                       bytes_per_pe=8.0 * (mlp_in_elems
+                                           + feat * cfg.mlp_hidden))
+        if functional:
+            self._top_mlp(manager, system, aa_buf, score_buf, bs_final,
+                          plane, tz, ec, t_all, e, w1, w2)
+
+        # 6. Gather the scores.
+        outputs = harness.comm("gather", "111", max(8, bs_final * 8),
+                               src=score_buf)
+        output = None
+        if functional and outputs is not None:
+            output = self._assemble_scores(manager, outputs[0], b, bs_final,
+                                           plane, cy)
+        result = harness.result(self.name, output=output, batch=b,
+                                tables=t_all, dim=e, hots=hots)
+        if functional:
+            result.meta["golden"] = golden_dlrm(data, tables, w1, w2)
+        return result
+
+    # ------------------------------------------------------------------
+    # Functional kernels
+    # ------------------------------------------------------------------
+    def _shards(self, manager, pe):
+        x, y, z = manager.coords_of_pe(pe)
+        return x, y, z
+
+    def _lookup(self, manager, system, tables, part_buf, b, tz, ec, hots,
+                cy):
+        data = self.data
+        r_shard = data.num_rows // cy
+        for pe in manager.all_pes:
+            x, y, z = self._shards(manager, pe)
+            partial = np.zeros((b, tz, ec), dtype=np.int64)
+            for t_local in range(tz):
+                t = z * tz + t_local
+                tbl = tables[t]
+                for s in range(b):
+                    for idx in data.indices[s, t]:
+                        if y * r_shard <= idx < (y + 1) * r_shard:
+                            partial[s, t_local] += tbl[idx,
+                                                       x * ec:(x + 1) * ec]
+            system.write_elements(pe, part_buf, partial.reshape(-1), INT64)
+
+    def _top_mlp(self, manager, system, aa_buf, score_buf, bs_final, plane,
+                 tz, ec, t_all, e, w1, w2):
+        for pe in manager.all_pes:
+            flat = system.read_elements(pe, aa_buf, bs_final * t_all * e,
+                                        INT64)
+            # AlltoAll delivered plane chunks in source-rank order; source
+            # rank (x', z') carried tables z'-shard and columns x'-shard.
+            feats = self._reassemble_features(flat, bs_final, plane, tz, ec,
+                                              t_all, e)
+            hidden = np.maximum(feats @ w1, 0)
+            scores = (hidden @ w2).reshape(-1)
+            system.write_elements(pe, score_buf, scores, INT64)
+
+    def _reassemble_features(self, flat, bs_final, plane, tz, ec, t_all, e):
+        cx = e // ec
+        chunks = flat.reshape(plane, bs_final, tz, ec)
+        feats = np.zeros((bs_final, t_all, e), dtype=np.int64)
+        for rank in range(plane):
+            # xz-plane group rank order: x varies fastest, then z.
+            x = rank % cx
+            z = rank // cx
+            feats[:, z * tz:(z + 1) * tz, x * ec:(x + 1) * ec] = chunks[rank]
+        return feats.reshape(bs_final, t_all * e)
+
+    def _assemble_scores(self, manager, gathered, b, bs_final, plane, cy):
+        """Map gathered per-PE scores back to batch order."""
+        scores = np.zeros(b, dtype=np.int64)
+        per_pe = max(1, bs_final)
+        for node, pe in enumerate(manager.all_pes):
+            x, y, z = self._shards(manager, pe)
+            cx = manager.shape.dims[0]
+            rank_in_plane = x + cx * z
+            base = y * (b // cy) + rank_in_plane * bs_final
+            chunk = gathered[node * per_pe:(node + 1) * per_pe]
+            scores[base:base + bs_final] = chunk[:bs_final]
+        return scores
+
+    # ------------------------------------------------------------------
+    #: Effective bandwidth of random embedding-row gathers on the CPU
+    #: (cache-miss bound; each pooled row is a fresh DRAM access).
+    CPU_GATHER_GBPS = 0.45
+    CPU_MLP_FLOPS = 6.6e9
+
+    def cpu_only_seconds(self, params) -> float:
+        """CPU-only time (Figure 21): gather-bound embedding pooling."""
+        del params
+        data = self.data
+        cfg = self.config
+        b, t, hots = data.indices.shape
+        e = cfg.embedding_dim
+        feat = t * e
+        lookup_bytes = 8.0 * b * t * hots * e
+        mlp_flops = 2.0 * b * (feat * cfg.mlp_hidden + cfg.mlp_hidden)
+        return (lookup_bytes / (self.CPU_GATHER_GBPS * 1e9)
+                + mlp_flops / self.CPU_MLP_FLOPS)

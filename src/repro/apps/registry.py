@@ -1,0 +1,58 @@
+"""Application registry (Table III of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One row of Table III."""
+
+    name: str
+    hypercube_dims: int
+    primitives: tuple[str, ...]
+    datasets: str
+    environment: str
+
+
+APP_REGISTRY = (
+    AppSpec("DLRM", 3,
+            ("scatter", "gather", "broadcast", "alltoall", "reduce_scatter"),
+            "synthetic Criteo-like (for Criteo [54])",
+            "emb. dim = 16, 32"),
+    AppSpec("GNN-RS&AR", 2,
+            ("scatter", "reduce", "reduce_scatter", "allreduce"),
+            "R-MAT (for Pubmed [83], Reddit [34])", "layers = 3"),
+    AppSpec("GNN-AR&AG", 2,
+            ("scatter", "gather", "allgather", "allreduce"),
+            "R-MAT (for Pubmed [83], Reddit [34])", "layers = 3"),
+    AppSpec("BFS", 1,
+            ("scatter", "reduce", "broadcast", "allreduce"),
+            "R-MAT (for LiveJournal [102], Gowalla [13])", ""),
+    AppSpec("CC", 1,
+            ("scatter", "reduce", "broadcast", "allreduce"),
+            "R-MAT (for LiveJournal [102], Gowalla [13])", ""),
+    AppSpec("MLP", 1,
+            ("scatter", "reduce", "reduce_scatter"),
+            "random dense", "features = 16k, 32k; layers = 5"),
+)
+
+ALL_PRIMITIVE_COLUMNS = (
+    "scatter", "gather", "reduce", "broadcast",
+    "alltoall", "reduce_scatter", "allgather", "allreduce",
+)
+
+
+def app_table() -> list[dict[str, object]]:
+    """Table III rows with one boolean column per primitive."""
+    rows = []
+    for spec in APP_REGISTRY:
+        rows.append({
+            "app": spec.name,
+            "hyper_dim": spec.hypercube_dims,
+            **{p: (p in spec.primitives) for p in ALL_PRIMITIVE_COLUMNS},
+            "datasets": spec.datasets,
+            "environment": spec.environment,
+        })
+    return rows

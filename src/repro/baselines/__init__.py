@@ -1,0 +1,18 @@
+"""Comparison systems: SimplePIM-style library, ring/tree topologies,
+and the CPU-only execution model."""
+
+from .simplepim import (
+    SIMPLEPIM_SUPPORTED,
+    UPMEM_SDK_SUPPORTED,
+    baseline_plan,
+    capability_table,
+)
+from .topologies import ring_allreduce_plan, tree_allreduce_plan
+from .cpu_only import CpuOnlyModel
+
+__all__ = [
+    "baseline_plan", "capability_table",
+    "SIMPLEPIM_SUPPORTED", "UPMEM_SDK_SUPPORTED",
+    "ring_allreduce_plan", "tree_allreduce_plan",
+    "CpuOnlyModel",
+]

@@ -1,0 +1,33 @@
+"""CPU-only execution model (the Figure 21 comparison point).
+
+Applications on the CPU-only system run the same phases as on the PIM
+system but with no inter-PE communication: each compute phase is priced
+by a roofline (compute-bound or memory-bound, whichever dominates) on
+the host parameters.  This mirrors how the paper's CPU baselines from
+PrIM/SparseP behave: memory-intensive kernels are bandwidth-bound on
+the CPU, which is exactly the gap PIM exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.timing import CostLedger, MachineParams
+
+
+@dataclass
+class CpuOnlyModel:
+    """Accumulates roofline-priced phases of a CPU-only run."""
+
+    params: MachineParams
+    ledger: CostLedger = field(default_factory=CostLedger)
+
+    def run_phase(self, name: str, flops: float, nbytes: float) -> float:
+        """Price one compute phase; returns its modelled seconds."""
+        seconds = self.params.cpu_time(flops, nbytes)
+        self.ledger.add("cpu", seconds)
+        return seconds
+
+    @property
+    def total(self) -> float:
+        return self.ledger.total

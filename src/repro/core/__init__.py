@@ -1,0 +1,6 @@
+"""PID-Comm core: the virtual hypercube model and the collective library."""
+
+from .hypercube import HypercubeManager
+from .groups import CommGroup, slice_groups
+
+__all__ = ["HypercubeManager", "CommGroup", "slice_groups"]

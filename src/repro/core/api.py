@@ -1,0 +1,222 @@
+"""The user-facing PID-Comm API (Figure 10 of the paper).
+
+Eight ``pidcomm_*`` functions mirror the C API::
+
+    pidcomm_reduce_scatter(manager, "010", total_data_size,
+                           src_offset, dst_offset, "int32", "sum")
+
+Each call compiles a plan, prices it, optionally executes it against
+the simulated DIMMs, and returns a :class:`CommResult` carrying the
+modelled cost ledger, the plan, and (for rooted primitives) the host
+side outputs.
+
+``functional=False`` skips the data movement: use it for paper-scale
+analytic runs where only the cost matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..dtypes import DataType, ReduceOp, dtype_by_name, op_by_name
+from ..errors import CollectiveError
+from ..hw.timing import CostLedger
+from .collectives import (
+    FULL,
+    GATHER_SCRATCH,
+    REDUCE_SCRATCH,
+    CommPlan,
+    OptConfig,
+    plan_allgather,
+    plan_allreduce,
+    plan_alltoall,
+    plan_broadcast,
+    plan_gather,
+    plan_reduce,
+    plan_reduce_scatter,
+    plan_scatter,
+)
+from .hypercube import HypercubeManager
+
+
+@dataclass
+class CommResult:
+    """Outcome of one collective invocation."""
+
+    plan: CommPlan
+    ledger: CostLedger
+    #: instance -> host output array (rooted primitives only).
+    host_outputs: dict[int, np.ndarray] | None = None
+
+    @property
+    def seconds(self) -> float:
+        """Modelled execution time."""
+        return self.ledger.total
+
+
+def _as_dtype(data_type: DataType | str) -> DataType:
+    if isinstance(data_type, DataType):
+        return data_type
+    return dtype_by_name(data_type)
+
+
+def _as_op(reduction: ReduceOp | str) -> ReduceOp:
+    if isinstance(reduction, ReduceOp):
+        return reduction
+    return op_by_name(reduction)
+
+
+def _finish(plan: CommPlan, manager: HypercubeManager, functional: bool,
+            scratch_key: str | None = None) -> CommResult:
+    ledger, ctx = plan.run(manager.system, functional=functional)
+    host_outputs = None
+    if ctx is not None and scratch_key is not None:
+        host_outputs = ctx.scratch.get(scratch_key)
+    return CommResult(plan=plan, ledger=ledger, host_outputs=host_outputs)
+
+
+def pidcomm_alltoall(manager: HypercubeManager,
+                     comm_dimensions: str | Sequence[int],
+                     total_data_size: int, src_offset: int, dst_offset: int,
+                     data_type: DataType | str = "int64",
+                     config: OptConfig = FULL,
+                     functional: bool = True) -> CommResult:
+    """AlltoAll across the cube slices selected by ``comm_dimensions``."""
+    plan = plan_alltoall(manager, comm_dimensions, total_data_size,
+                         src_offset, dst_offset, _as_dtype(data_type), config)
+    return _finish(plan, manager, functional)
+
+
+def pidcomm_allgather(manager: HypercubeManager,
+                      comm_dimensions: str | Sequence[int],
+                      total_data_size: int, src_offset: int, dst_offset: int,
+                      data_type: DataType | str = "int64",
+                      config: OptConfig = FULL,
+                      functional: bool = True) -> CommResult:
+    """AllGather: every group member ends with all members' chunks."""
+    plan = plan_allgather(manager, comm_dimensions, total_data_size,
+                          src_offset, dst_offset, _as_dtype(data_type),
+                          config)
+    return _finish(plan, manager, functional)
+
+
+def pidcomm_reduce_scatter(manager: HypercubeManager,
+                           comm_dimensions: str | Sequence[int],
+                           total_data_size: int, src_offset: int,
+                           dst_offset: int,
+                           data_type: DataType | str = "int64",
+                           reduction_type: ReduceOp | str = "sum",
+                           config: OptConfig = FULL,
+                           functional: bool = True) -> CommResult:
+    """ReduceScatter (consumes the source buffer, like the PIM kernel)."""
+    plan = plan_reduce_scatter(manager, comm_dimensions, total_data_size,
+                               src_offset, dst_offset, _as_dtype(data_type),
+                               _as_op(reduction_type), config)
+    return _finish(plan, manager, functional)
+
+
+def pidcomm_allreduce(manager: HypercubeManager,
+                      comm_dimensions: str | Sequence[int],
+                      total_data_size: int, src_offset: int, dst_offset: int,
+                      data_type: DataType | str = "int64",
+                      reduction_type: ReduceOp | str = "sum",
+                      config: OptConfig = FULL,
+                      functional: bool = True) -> CommResult:
+    """AllReduce as a fused ReduceScatter + AllGather."""
+    plan = plan_allreduce(manager, comm_dimensions, total_data_size,
+                          src_offset, dst_offset, _as_dtype(data_type),
+                          _as_op(reduction_type), config)
+    return _finish(plan, manager, functional)
+
+
+def pidcomm_gather(manager: HypercubeManager,
+                   comm_dimensions: str | Sequence[int],
+                   total_data_size: int, src_offset: int,
+                   data_type: DataType | str = "int64",
+                   config: OptConfig = FULL,
+                   functional: bool = True) -> CommResult:
+    """Gather to the host; results in ``result.host_outputs``.
+
+    Each instance's output is the rank-order concatenation of member
+    chunks, returned as a typed numpy array.
+    """
+    dtype = _as_dtype(data_type)
+    plan = plan_gather(manager, comm_dimensions, total_data_size, src_offset,
+                       dtype, config)
+    result = _finish(plan, manager, functional, scratch_key=GATHER_SCRATCH)
+    if result.host_outputs is not None:
+        result.host_outputs = {
+            inst: buf.view(dtype.np_dtype)
+            for inst, buf in result.host_outputs.items()}
+    return result
+
+
+def pidcomm_scatter(manager: HypercubeManager,
+                    comm_dimensions: str | Sequence[int],
+                    total_data_size: int, dst_offset: int,
+                    data_type: DataType | str = "int64",
+                    payloads: Mapping[int, np.ndarray] | None = None,
+                    config: OptConfig = FULL,
+                    functional: bool = True) -> CommResult:
+    """Scatter host chunks to the PEs.
+
+    ``payloads[instance]`` holds the instance's concatenated chunks
+    (``group_size * total_data_size`` bytes worth of elements); it may
+    be omitted for analytic (``functional=False``) runs.
+    """
+    if functional and payloads is None:
+        raise CollectiveError("functional scatter needs payloads")
+    plan = plan_scatter(manager, comm_dimensions, total_data_size,
+                        dst_offset, _as_dtype(data_type), payloads, config)
+    return _finish(plan, manager, functional)
+
+
+def pidcomm_reduce(manager: HypercubeManager,
+                   comm_dimensions: str | Sequence[int],
+                   total_data_size: int, src_offset: int,
+                   data_type: DataType | str = "int64",
+                   reduction_type: ReduceOp | str = "sum",
+                   config: OptConfig = FULL,
+                   functional: bool = True) -> CommResult:
+    """Reduce to the host; results in ``result.host_outputs``."""
+    dtype = _as_dtype(data_type)
+    plan = plan_reduce(manager, comm_dimensions, total_data_size, src_offset,
+                       dtype, _as_op(reduction_type), config)
+    result = _finish(plan, manager, functional, scratch_key=REDUCE_SCRATCH)
+    if result.host_outputs is not None:
+        result.host_outputs = {
+            inst: _reduced_vector(buf, dtype)
+            for inst, buf in result.host_outputs.items()}
+    return result
+
+
+def _reduced_vector(buf: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Assemble a reduce result: lane-major rows -> one typed vector."""
+    arr = np.asarray(buf)
+    if arr.ndim == 2:  # optimized path keeps the (lanes, elems) matrix
+        return np.ascontiguousarray(arr).reshape(-1)
+    return arr.view(dtype.np_dtype)  # conventional path stores raw bytes
+
+
+def pidcomm_broadcast(manager: HypercubeManager,
+                      comm_dimensions: str | Sequence[int],
+                      total_data_size: int, dst_offset: int,
+                      data_type: DataType | str = "int64",
+                      payloads: Mapping[int, np.ndarray] | None = None,
+                      config: OptConfig = FULL,
+                      functional: bool = True) -> CommResult:
+    """Broadcast per-instance host buffers to every member PE."""
+    if functional and payloads is None:
+        raise CollectiveError("functional broadcast needs payloads")
+    plan = plan_broadcast(manager, comm_dimensions, total_data_size,
+                          dst_offset, _as_dtype(data_type), payloads, config)
+    return _finish(plan, manager, functional)
+
+
+ALL_PRIMITIVES = (
+    "alltoall", "reduce_scatter", "allgather", "allreduce",
+    "scatter", "gather", "reduce", "broadcast",
+)

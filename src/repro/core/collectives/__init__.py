@@ -1,0 +1,27 @@
+"""Collective communication plans, steps, and configurations."""
+
+from .config import ABLATION_LADDER, BASELINE, FULL, PR_IM, PR_ONLY, OptConfig
+from .plan import CommPlan, ExecContext, Step
+from .planner import (
+    AR_SCRATCH,
+    GATHER_SCRATCH,
+    PLANNERS,
+    REDUCE_SCRATCH,
+    plan_allgather,
+    plan_allreduce,
+    plan_alltoall,
+    plan_broadcast,
+    plan_gather,
+    plan_reduce,
+    plan_reduce_scatter,
+    plan_scatter,
+)
+
+__all__ = [
+    "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
+    "CommPlan", "ExecContext", "Step",
+    "PLANNERS", "AR_SCRATCH", "GATHER_SCRATCH", "REDUCE_SCRATCH",
+    "plan_alltoall", "plan_allgather", "plan_reduce_scatter",
+    "plan_allreduce", "plan_gather", "plan_scatter", "plan_reduce",
+    "plan_broadcast",
+]

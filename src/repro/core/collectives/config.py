@@ -1,0 +1,60 @@
+"""Optimization-technique configuration (paper section V, Table II).
+
+The three techniques build on each other in the order the paper's
+ablation applies them:
+
+* **PE-assisted reordering (PR)** decomposes the global modulation into
+  PE-local permutations around a host pass.
+* **In-register modulation (IM)** requires PR (only then does the
+  working set fit a vector register) and removes host-memory staging.
+* **Cross-domain modulation (CM)** requires IM (it fuses the two domain
+  transfers with the in-register shift) and removes domain transfer for
+  non-arithmetic primitives (or for 8-bit elements everywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import CollectiveError
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    """Which PID-Comm techniques are enabled."""
+
+    pe_reorder: bool = True
+    in_register: bool = True
+    cross_domain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.in_register and not self.pe_reorder:
+            raise CollectiveError(
+                "in-register modulation requires PE-assisted reordering")
+        if self.cross_domain and not self.in_register:
+            raise CollectiveError(
+                "cross-domain modulation requires in-register modulation")
+
+    @property
+    def label(self) -> str:
+        """Ablation label as used in Figure 16."""
+        if self.cross_domain:
+            return "+CM"
+        if self.in_register:
+            return "+IM"
+        if self.pe_reorder:
+            return "+PR"
+        return "Baseline"
+
+
+#: Conventional host-mediated path (no PID-Comm techniques).
+BASELINE = OptConfig(pe_reorder=False, in_register=False, cross_domain=False)
+#: PE-assisted reordering only.
+PR_ONLY = OptConfig(pe_reorder=True, in_register=False, cross_domain=False)
+#: PE-assisted reordering + in-register modulation.
+PR_IM = OptConfig(pe_reorder=True, in_register=True, cross_domain=False)
+#: All techniques (the shipping PID-Comm configuration).
+FULL = OptConfig(pe_reorder=True, in_register=True, cross_domain=True)
+
+#: Ablation ladder in Figure 16 order.
+ABLATION_LADDER = (BASELINE, PR_ONLY, PR_IM, FULL)

@@ -1,0 +1,91 @@
+"""Executable communication plans.
+
+A collective invocation is compiled into a :class:`CommPlan`: an ordered
+list of steps, each of which can both
+
+* ``apply(ctx)`` -- move real bytes through the simulated system
+  (functional mode; used by tests, examples, and small runs), and
+* ``cost(system)`` -- price itself against the machine parameters
+  (analytic mode; used by paper-scale benchmarks).
+
+The step is the single source of truth for both, so the test suite can
+assert that what a plan *does* is what it *charges for*.
+
+Steps communicate host-side intermediates (gathered buffers, reduced
+rows) through the :class:`ExecContext` scratch dictionary, modelling
+host memory held across phases of one collective.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...hw.host import SimdCounter
+from ...hw.system import DimmSystem
+from ...hw.timing import CostLedger
+
+
+@dataclass
+class ExecContext:
+    """State threaded through a plan's functional execution."""
+
+    system: DimmSystem
+    #: Host-side intermediates keyed by (step-defined) names.
+    scratch: dict[str, Any] = field(default_factory=dict)
+    #: Register-operation counts accumulated by the host data path.
+    simd: SimdCounter = field(default_factory=SimdCounter)
+
+
+class Step(abc.ABC):
+    """One phase of a communication plan."""
+
+    @abc.abstractmethod
+    def apply(self, ctx: ExecContext) -> None:
+        """Execute functionally against the simulated system."""
+
+    @abc.abstractmethod
+    def cost(self, system: DimmSystem) -> CostLedger:
+        """Modelled cost of this step on ``system``."""
+
+    def describe(self) -> str:
+        """Short human-readable label (defaults to the class name)."""
+        return type(self).__name__
+
+
+@dataclass
+class CommPlan:
+    """An ordered sequence of steps implementing one collective."""
+
+    primitive: str
+    steps: list[Step]
+    #: Free-form metadata (group count/size, payload bytes, config label).
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def execute(self, system: DimmSystem) -> ExecContext:
+        """Run functionally; returns the context (host outputs in scratch)."""
+        ctx = ExecContext(system=system)
+        for step in self.steps:
+            step.apply(ctx)
+        return ctx
+
+    def estimate(self, system: DimmSystem) -> CostLedger:
+        """Price the plan without moving any data."""
+        ledger = CostLedger()
+        for step in self.steps:
+            ledger.merge(step.cost(system))
+        return ledger
+
+    def run(self, system: DimmSystem, functional: bool = True
+            ) -> tuple[CostLedger, ExecContext | None]:
+        """Estimate and (optionally) execute; returns (ledger, ctx)."""
+        ledger = self.estimate(system)
+        ctx = self.execute(system) if functional else None
+        return ledger, ctx
+
+    def describe(self) -> str:
+        """Multi-line plan listing for debugging and docs."""
+        lines = [f"CommPlan({self.primitive}, {len(self.steps)} steps)"]
+        lines.extend(f"  {i}: {s.describe()}" for i, s in enumerate(self.steps))
+        return "\n".join(lines)

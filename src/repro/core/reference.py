@@ -1,0 +1,104 @@
+"""Golden (pure numpy) semantics of the eight collectives.
+
+These functions define *what* each primitive must compute, independent
+of any hardware model.  Every functional execution of the library is
+verified bit-exactly against them in the test suite.
+
+Conventions (matching the paper / MPI):
+
+* Node order is the communication-group rank order.
+* ``alltoall``/``reduce_scatter`` inputs are per-node vectors of
+  ``N * c`` elements interpreted as ``N`` chunks of ``c``.
+* ``allgather`` inputs are per-node vectors of ``c`` elements; outputs
+  concatenate all nodes' chunks in rank order.
+* Rooted primitives use the host as the root (the paper fixes this).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..dtypes import ReduceOp
+from ..errors import CollectiveError
+
+
+def _stack(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    if not inputs:
+        raise CollectiveError("collective over zero nodes")
+    first = np.asarray(inputs[0])
+    rows = [np.asarray(x) for x in inputs]
+    for row in rows:
+        if row.shape != first.shape or row.dtype != first.dtype:
+            raise CollectiveError(
+                "all nodes must contribute equal-shape, equal-dtype vectors")
+    return np.stack(rows, axis=0)
+
+
+def alltoall(inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """out[i] = concat_j inputs[j].chunk(i)."""
+    data = _stack(inputs)
+    n = data.shape[0]
+    if data.shape[1] % n:
+        raise CollectiveError(
+            f"alltoall needs per-node length divisible by {n} nodes")
+    chunks = data.reshape(n, n, -1)          # [src, dest_chunk, elems]
+    out = chunks.transpose(1, 0, 2)           # [dest, src, elems]
+    return [out[i].reshape(-1).copy() for i in range(n)]
+
+
+def allgather(inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Every node receives concat_j inputs[j]."""
+    data = _stack(inputs)
+    flat = data.reshape(-1).copy()
+    return [flat.copy() for _ in range(data.shape[0])]
+
+
+def reduce_scatter(inputs: Sequence[np.ndarray], op: ReduceOp) -> list[np.ndarray]:
+    """out[i] = reduce_j inputs[j].chunk(i)."""
+    data = _stack(inputs)
+    n = data.shape[0]
+    if data.shape[1] % n:
+        raise CollectiveError(
+            f"reduce_scatter needs per-node length divisible by {n} nodes")
+    chunks = data.reshape(n, n, -1)          # [src, chunk, elems]
+    reduced = op.reduce_axis(chunks, axis=0)  # [chunk, elems]
+    return [reduced[i].copy() for i in range(n)]
+
+
+def allreduce(inputs: Sequence[np.ndarray], op: ReduceOp) -> list[np.ndarray]:
+    """Every node receives reduce_j inputs[j]."""
+    data = _stack(inputs)
+    reduced = op.reduce_axis(data, axis=0)
+    return [reduced.copy() for _ in range(data.shape[0])]
+
+
+def scatter(root_data: np.ndarray, num_nodes: int) -> list[np.ndarray]:
+    """Node i receives chunk i of the root's buffer."""
+    data = np.asarray(root_data)
+    if num_nodes < 1:
+        raise CollectiveError("scatter needs at least one node")
+    if data.shape[0] % num_nodes:
+        raise CollectiveError(
+            f"scatter root length {data.shape[0]} not divisible by "
+            f"{num_nodes} nodes")
+    return [chunk.copy() for chunk in data.reshape(num_nodes, -1)]
+
+
+def gather(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Root receives concat_j inputs[j]."""
+    return _stack(inputs).reshape(-1).copy()
+
+
+def reduce(inputs: Sequence[np.ndarray], op: ReduceOp) -> np.ndarray:
+    """Root receives reduce_j inputs[j]."""
+    return op.reduce_axis(_stack(inputs), axis=0).copy()
+
+
+def broadcast(root_data: np.ndarray, num_nodes: int) -> list[np.ndarray]:
+    """Every node receives a copy of the root's buffer."""
+    if num_nodes < 1:
+        raise CollectiveError("broadcast needs at least one node")
+    data = np.asarray(root_data)
+    return [data.copy() for _ in range(num_nodes)]

@@ -1,0 +1,9 @@
+"""Synthetic datasets replacing the paper's proprietary/large inputs."""
+
+from .graphs import CsrGraph, partition_1d, partition_2d, random_graph, rmat_graph
+from .synthetic import CriteoLikeDataset, criteo_like
+
+__all__ = [
+    "CsrGraph", "rmat_graph", "random_graph", "partition_1d", "partition_2d",
+    "CriteoLikeDataset", "criteo_like",
+]

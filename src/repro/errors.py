@@ -1,0 +1,36 @@
+"""Exception hierarchy for the PID-Comm reproduction.
+
+Every error raised by the library derives from :class:`PidCommError` so
+callers can catch library failures with a single except clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class PidCommError(Exception):
+    """Base class for all library errors."""
+
+
+class GeometryError(PidCommError):
+    """Invalid DIMM geometry or PE/entangled-group addressing."""
+
+
+class AllocationError(PidCommError):
+    """Buffer or rank-set allocation failed (overlap, out of MRAM, ...)."""
+
+
+class HypercubeError(PidCommError):
+    """Invalid hypercube shape, dimension bitmap, or mapping request."""
+
+
+class CollectiveError(PidCommError):
+    """Invalid collective invocation (sizes, dtype, unsupported op...)."""
+
+
+class TransferError(PidCommError):
+    """Host <-> PIM transfer request is malformed."""
+
+
+class AppError(PidCommError):
+    """Benchmark application configuration or execution error."""

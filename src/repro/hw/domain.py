@@ -1,0 +1,112 @@
+"""PIM-domain byte striping and domain transfer.
+
+When the host copies a contiguous buffer to an entangled group, the DDR
+bus spreads each 64-bit word across the group's 8 chips, one byte lane
+per chip (Figure 1).  The UPMEM driver hides this by rearranging bytes
+with vector shuffles -- the *domain transfer* (paper section II-B) -- so
+that each PE receives whole words.  The rearrangement is exactly a byte
+transpose between
+
+* the **host domain**: ``k`` words of ``lanes`` bytes laid out
+  contiguously, and
+* the **PIM domain**: a ``(lanes, k)`` matrix whose row ``l`` holds byte
+  ``l`` of every word and lives in PE ``l``'s bank.
+
+We carry PIM-resident data as such *lane matrices* (numpy uint8 arrays
+of shape ``(lanes, nbytes_per_lane)``).  A raw (domain-transfer-free)
+host access sees the lane matrix as-is: byte-granular lane permutations
+are cheap SIMD shuffles on it (cross-domain modulation), but words in a
+single lane cannot be interpreted by the host without the transpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TransferError
+
+
+def host_to_pim(host_bytes: np.ndarray, lanes: int) -> np.ndarray:
+    """Domain-transfer a host-domain byte buffer into a lane matrix.
+
+    Args:
+        host_bytes: 1-D uint8 array, length a multiple of ``lanes``.
+        lanes: Number of byte lanes (chips per rank).
+
+    Returns:
+        A ``(lanes, len(host_bytes) // lanes)`` uint8 array; row ``l``
+        holds byte ``l`` of every ``lanes``-byte word.
+    """
+    buf = _as_bytes(host_bytes)
+    if buf.size % lanes:
+        raise TransferError(
+            f"host buffer of {buf.size} bytes is not a multiple of {lanes} lanes")
+    return np.ascontiguousarray(buf.reshape(-1, lanes).T)
+
+
+def pim_to_host(lane_matrix: np.ndarray) -> np.ndarray:
+    """Domain-transfer a lane matrix back to a host-domain byte buffer."""
+    matrix = _as_matrix(lane_matrix)
+    return np.ascontiguousarray(matrix.T).reshape(-1)
+
+
+def words_from_lanes(lane_matrix: np.ndarray, np_dtype: np.dtype) -> np.ndarray:
+    """Interpret each *lane* as contiguous elements of ``np_dtype``.
+
+    This is the PE's own view of its bank: PEs always see whole
+    elements.  Shape of the result is ``(lanes, elems_per_lane)``.
+    """
+    matrix = _as_matrix(lane_matrix)
+    itemsize = np.dtype(np_dtype).itemsize
+    if matrix.shape[1] % itemsize:
+        raise TransferError(
+            f"lane length {matrix.shape[1]} is not a multiple of "
+            f"{np_dtype} itemsize {itemsize}")
+    return matrix.view(np_dtype)
+
+
+def lanes_from_words(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`words_from_lanes`: elements back to raw bytes."""
+    if words.ndim != 2:
+        raise TransferError(f"expected 2-D word matrix, got shape {words.shape}")
+    return np.ascontiguousarray(words).view(np.uint8)
+
+
+def rotate_lanes(lane_matrix: np.ndarray, amount: int) -> np.ndarray:
+    """Rotate lane rows downward by ``amount`` (lane l -> lane l+amount).
+
+    Models the byte-level shift (`_mm512_rol_epi64`-style shuffles) used
+    by cross-domain modulation: the contents of lane ``l`` move to lane
+    ``(l + amount) % lanes`` without touching byte order within a lane.
+    """
+    matrix = _as_matrix(lane_matrix)
+    return np.roll(matrix, amount, axis=0)
+
+
+def permute_lanes(lane_matrix: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+    """Generic lane permutation: output lane ``l`` = input lane ``perm[l]``."""
+    matrix = _as_matrix(lane_matrix)
+    perm = np.asarray(permutation)
+    if perm.shape != (matrix.shape[0],):
+        raise TransferError(
+            f"permutation of shape {perm.shape} does not match "
+            f"{matrix.shape[0]} lanes")
+    if sorted(perm.tolist()) != list(range(matrix.shape[0])):
+        raise TransferError(f"{perm!r} is not a permutation")
+    return matrix[perm]
+
+
+def _as_bytes(buf: np.ndarray) -> np.ndarray:
+    arr = np.asarray(buf)
+    if arr.dtype != np.uint8 or arr.ndim != 1:
+        raise TransferError(
+            f"expected 1-D uint8 host buffer, got {arr.dtype} ndim={arr.ndim}")
+    return arr
+
+
+def _as_matrix(lane_matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(lane_matrix)
+    if arr.dtype != np.uint8 or arr.ndim != 2:
+        raise TransferError(
+            f"expected 2-D uint8 lane matrix, got {arr.dtype} ndim={arr.ndim}")
+    return arr

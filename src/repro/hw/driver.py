@@ -1,0 +1,195 @@
+"""UPMEM-SDK-style driver surface over the simulated system.
+
+The real PID-Comm is implemented against the UPMEM host SDK (paper
+section VI-B): DPU *sets* are allocated at rank granularity, data moves
+with ``dpu_copy_to/from`` (single DPU), ``dpu_push_xfer`` (parallel
+per-DPU buffers) and ``dpu_broadcast_to`` (same buffer to all), and the
+driver performs the domain transfer transparently -- which PID-Comm
+selectively disables.
+
+This module reproduces that API shape over :class:`DimmSystem`, so host
+code written for the SDK ports with minimal edits, and the library's
+internals can be read against familiar names.  Transfers return the
+modelled cost of the call, priced exactly like the plan steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import AllocationError, TransferError
+from .system import DimmSystem
+from .timing import CostLedger
+
+#: Transfer directions, named after the SDK's enum.
+XFER_TO_DPU = "to_dpu"
+XFER_FROM_DPU = "from_dpu"
+
+
+@dataclass
+class DpuRankSet:
+    """A set of allocated ranks (the SDK's ``dpu_set_t``)."""
+
+    system: DimmSystem
+    rank_ids: tuple[int, ...]  # global (channel * ranks + rank) indices
+
+    @property
+    def pe_ids(self) -> tuple[int, ...]:
+        geom = self.system.geometry
+        per_rank = geom.pes_per_rank
+        pes: list[int] = []
+        for rank in self.rank_ids:
+            base = rank * per_rank
+            pes.extend(range(base, base + per_rank))
+        return tuple(pes)
+
+    @property
+    def nr_dpus(self) -> int:
+        return len(self.pe_ids)
+
+    def __iter__(self):
+        return iter(self.pe_ids)
+
+
+class DpuDriver:
+    """Rank allocation + transfers + launches (the SDK's host API)."""
+
+    def __init__(self, system: DimmSystem) -> None:
+        self.system = system
+        self._allocated: set[int] = set()
+        self.ledger = CostLedger()
+
+    # ------------------------------------------------------------------
+    # Allocation (dpu_alloc / dpu_free)
+    # ------------------------------------------------------------------
+    @property
+    def total_ranks(self) -> int:
+        geom = self.system.geometry
+        return geom.channels * geom.ranks_per_channel
+
+    def alloc_ranks(self, nr_ranks: int) -> DpuRankSet:
+        """Allocate ``nr_ranks`` free ranks (lowest ids first)."""
+        free = [r for r in range(self.total_ranks)
+                if r not in self._allocated]
+        if len(free) < nr_ranks:
+            raise AllocationError(
+                f"requested {nr_ranks} ranks but only {len(free)} free")
+        chosen = tuple(free[:nr_ranks])
+        self._allocated.update(chosen)
+        return DpuRankSet(self.system, chosen)
+
+    def free(self, dpu_set: DpuRankSet) -> None:
+        """Release a rank set."""
+        self._allocated.difference_update(dpu_set.rank_ids)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def copy_to(self, dpu_set: DpuRankSet, pe_index: int, offset: int,
+                data: np.ndarray) -> float:
+        """``dpu_copy_to``: one buffer to one DPU of the set."""
+        buf = self._as_bytes(data)
+        pe = dpu_set.pe_ids[pe_index]
+        self.system.memory(pe).write(offset, buf)
+        return self._charge_transfer([pe], buf.size, domain_transfer=True)
+
+    def copy_from(self, dpu_set: DpuRankSet, pe_index: int, offset: int,
+                  nbytes: int) -> np.ndarray:
+        """``dpu_copy_from``: one buffer back from one DPU."""
+        pe = dpu_set.pe_ids[pe_index]
+        data = self.system.memory(pe).read(offset, nbytes)
+        self._charge_transfer([pe], nbytes, domain_transfer=True)
+        return data
+
+    def push_xfer(self, dpu_set: DpuRankSet, direction: str, offset: int,
+                  buffers: Sequence[np.ndarray] | None = None,
+                  nbytes: int | None = None,
+                  domain_transfer: bool = True):
+        """``dpu_push_xfer``: parallel per-DPU buffers, rank-batched.
+
+        ``domain_transfer=False`` is the hook PID-Comm uses: the driver
+        skips the byte rearrangement and the host receives/provides raw
+        PIM-domain data (section VI-B "we manipulated the conventional
+        library to disable automatic domain transfer").
+        """
+        pes = dpu_set.pe_ids
+        if direction == XFER_TO_DPU:
+            if buffers is None or len(buffers) != len(pes):
+                raise TransferError(
+                    f"push_xfer to_dpu needs one buffer per DPU "
+                    f"({len(pes)})")
+            bufs = [self._as_bytes(b) for b in buffers]
+            sizes = {b.size for b in bufs}
+            if len(sizes) != 1:
+                raise TransferError("push_xfer buffers must be equal-sized")
+            for pe, buf in zip(pes, bufs):
+                self.system.memory(pe).write(offset, buf)
+            seconds = self._charge_transfer(pes, sizes.pop() * len(pes),
+                                            domain_transfer)
+            return seconds
+        if direction == XFER_FROM_DPU:
+            if nbytes is None:
+                raise TransferError("push_xfer from_dpu needs nbytes")
+            out = [self.system.memory(pe).read(offset, nbytes) for pe in pes]
+            self._charge_transfer(pes, nbytes * len(pes), domain_transfer)
+            return out
+        raise TransferError(f"unknown direction {direction!r}")
+
+    def broadcast_to(self, dpu_set: DpuRankSet, offset: int,
+                     data: np.ndarray) -> float:
+        """``dpu_broadcast_to``: same buffer to every DPU (fast path:
+        one domain transfer serves all copies)."""
+        buf = self._as_bytes(data)
+        pes = dpu_set.pe_ids
+        for pe in pes:
+            self.system.memory(pe).write(offset, buf)
+        params = self.system.params
+        geom = self.system.geometry
+        seconds = params.bus_time(buf.size * len(pes),
+                                  geom.channels_used(pes),
+                                  geom.lane_utilization(pes))
+        seconds += params.dt_time(buf.size)
+        self.ledger.add("bus", seconds - params.dt_time(buf.size))
+        self.ledger.add("dt", params.dt_time(buf.size))
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Kernel launches
+    # ------------------------------------------------------------------
+    def launch(self, dpu_set: DpuRankSet,
+               kernel: Callable[[int, "DimmSystem"], None] | None = None
+               ) -> float:
+        """``dpu_launch``: run a per-DPU kernel function synchronously.
+
+        ``kernel(pe_id, system)`` runs once per DPU (functionally); the
+        modelled cost is the launch overhead -- compute time is the
+        kernel author's to account (see ``repro/hw/kernels.py``).
+        """
+        if kernel is not None:
+            for pe in dpu_set.pe_ids:
+                kernel(pe, self.system)
+        seconds = self.system.params.kernel_launch_s
+        self.ledger.add("launch", seconds)
+        return seconds
+
+    # ------------------------------------------------------------------
+    def _as_bytes(self, data: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(data)
+        return arr.reshape(-1).view(np.uint8)
+
+    def _charge_transfer(self, pes, nbytes: int,
+                         domain_transfer: bool) -> float:
+        params = self.system.params
+        geom = self.system.geometry
+        bus = params.bus_time(nbytes, geom.channels_used(pes),
+                              geom.lane_utilization(pes))
+        self.ledger.add("bus", bus)
+        seconds = bus
+        if domain_transfer:
+            dt = params.dt_time(nbytes)
+            self.ledger.add("dt", dt)
+            seconds += dt
+        return seconds

@@ -1,0 +1,161 @@
+"""Host-side vector-register data path (the AVX-512 modulation engine).
+
+PID-Comm's host pass never lets a word leave one vector register
+(in-register modulation): bursts are loaded 64 bytes at a time, lane
+rotations are one- or two-source shuffles (``valignq`` /
+``vpermi2q``-class), domain transfers are 8x8 byte transposes within a
+register, and reductions are vertical SIMD adds.
+
+This module executes those operations *register-wise* on lane matrices
+and counts them, so the functional path moves data exactly the way the
+real SIMD kernels do and the op counts can be cross-checked against
+what the cost model charges (see ``tests/test_host_simd.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TransferError
+
+#: AVX-512 register width.
+REGISTER_BYTES = 64
+#: Lanes a single register covers (one entangled group's burst).
+REGISTER_LANES = 8
+
+
+@dataclass
+class SimdCounter:
+    """Counts of register operations performed by a host pass."""
+
+    loads: int = 0
+    stores: int = 0
+    shuffles: int = 0
+    transposes: int = 0
+    adds: int = 0
+
+    def merge(self, other: "SimdCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.loads += other.loads
+        self.stores += other.stores
+        self.shuffles += other.shuffles
+        self.transposes += other.transposes
+        self.adds += other.adds
+
+    @property
+    def shuffle_bytes(self) -> int:
+        """Bytes that passed through lane shuffles."""
+        return self.shuffles * REGISTER_BYTES
+
+    @property
+    def transpose_bytes(self) -> int:
+        return self.transposes * REGISTER_BYTES
+
+    @property
+    def add_bytes(self) -> int:
+        return self.adds * REGISTER_BYTES
+
+
+def _check_row(row: np.ndarray) -> tuple[int, int]:
+    if row.ndim != 2 or row.dtype != np.uint8:
+        raise TransferError(
+            f"expected 2-D uint8 lane matrix, got {row.dtype} "
+            f"ndim={row.ndim}")
+    lanes, nbytes = row.shape
+    if lanes % REGISTER_LANES and lanes < REGISTER_LANES:
+        # Sub-register groups are fine (instances pack within one
+        # register); only require the matrix to be rectangular.
+        pass
+    return lanes, nbytes
+
+
+def rotate_lanes_registerwise(row: np.ndarray, amount: int,
+                              counter: SimdCounter | None = None
+                              ) -> np.ndarray:
+    """Rotate lane rows down by ``amount``, one output register at a time.
+
+    Equivalent to ``np.roll(row, amount, axis=0)`` but executed the way
+    the SIMD kernel does: every output register gathers its 8 lanes
+    from at most two source registers (one shuffle each when aligned,
+    two otherwise).  Groups smaller than a register rotate inside one
+    register with a single shuffle.
+    """
+    lanes, nbytes = _check_row(row)
+    counter = counter if counter is not None else SimdCounter()
+    out = np.empty_like(row)
+    amount %= lanes
+    lane_block = min(REGISTER_LANES, lanes)
+    col_step = REGISTER_BYTES // lane_block
+    for col in range(0, nbytes, col_step):
+        width = min(col_step, nbytes - col)
+        for block in range(0, lanes, lane_block):
+            src_lanes = [(block + i - amount) % lanes
+                         for i in range(min(lane_block, lanes - block))]
+            source_regs = {l // lane_block for l in src_lanes}
+            counter.loads += len(source_regs)
+            counter.shuffles += len(source_regs)
+            counter.stores += 1
+            out[block:block + len(src_lanes), col:col + width] = \
+                row[src_lanes, col:col + width]
+    return out
+
+
+def domain_transfer_registerwise(row: np.ndarray,
+                                 counter: SimdCounter | None = None
+                                 ) -> np.ndarray:
+    """Transpose between PIM and host domain, register by register.
+
+    Each 64-byte register holds an 8x8 byte tile (8 lanes x 8 bytes);
+    the domain transfer is the in-register transpose of that tile.
+    The operation is an involution, so it converts either direction.
+    For groups of other sizes the tile is lanes x (64/lanes) and the
+    transpose exchanges the axes the same way.
+    """
+    lanes, nbytes = _check_row(row)
+    counter = counter if counter is not None else SimdCounter()
+    word = REGISTER_BYTES // min(lanes, REGISTER_LANES)
+    if nbytes % word:
+        raise TransferError(
+            f"lane length {nbytes} is not a whole number of {word}-byte "
+            "words")
+    out = np.empty_like(row)
+    lane_block = min(REGISTER_LANES, lanes)
+    for col in range(0, nbytes, word):
+        for block in range(0, lanes, lane_block):
+            height = min(lane_block, lanes - block)
+            tile = row[block:block + height, col:col + word]
+            if height == word:
+                out[block:block + height, col:col + word] = tile.T
+            else:
+                # Non-square tile: transpose via reshape (the hardware
+                # uses a pair of shuffles either way).
+                flat = tile.reshape(-1)
+                out[block:block + height, col:col + word] = (
+                    flat.reshape(word, height).T)
+            counter.transposes += 1
+    return out
+
+
+def vertical_add_registerwise(acc: np.ndarray, row: np.ndarray,
+                              np_dtype: np.dtype,
+                              counter: SimdCounter | None = None,
+                              ufunc: np.ufunc = np.add) -> np.ndarray:
+    """Elementwise-reduce ``row`` into ``acc``, counting register adds.
+
+    Both arguments are (lanes, nbytes) uint8 matrices whose lanes hold
+    whole elements of ``np_dtype``; the reduction is one vertical SIMD
+    op per 64 loaded bytes.
+    """
+    lanes, nbytes = _check_row(acc)
+    if row.shape != acc.shape:
+        raise TransferError(
+            f"operand shapes differ: {acc.shape} vs {row.shape}")
+    counter = counter if counter is not None else SimdCounter()
+    total = lanes * nbytes
+    regs = (total + REGISTER_BYTES - 1) // REGISTER_BYTES
+    counter.loads += regs
+    counter.adds += regs
+    merged = ufunc(acc.view(np_dtype), row.view(np_dtype))
+    return np.ascontiguousarray(merged).view(np.uint8)

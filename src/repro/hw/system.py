@@ -1,0 +1,177 @@
+"""The :class:`DimmSystem` facade: geometry + memories + data movement.
+
+This is the substrate every higher layer builds on.  It exposes
+
+* symmetric MRAM buffer allocation (UPMEM-style: the same offset is
+  valid on every PE),
+* per-PE typed reads/writes (the PE's own whole-element view),
+* lane-matrix reads/writes over ordered PE lists (the host's burst view
+  used by the collective engine), and
+* lazy per-PE memory so analytic (cost-only) runs allocate nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..dtypes import DataType
+from ..errors import AllocationError, TransferError
+from .geometry import DimmGeometry
+from .memory import MRAM_DEFAULT_BYTES, PeMemory
+from .timing import MachineParams
+
+
+class DimmSystem:
+    """A simulated system of PIM-enabled DIMMs.
+
+    Args:
+        geometry: Channel/rank/chip/bank shape; defaults to the paper's
+            1024-PE testbed.
+        params: Machine cost parameters for pricing plans.
+        mram_bytes: Simulated MRAM size per PE (functional runs only).
+    """
+
+    def __init__(
+        self,
+        geometry: DimmGeometry | None = None,
+        params: MachineParams | None = None,
+        mram_bytes: int = MRAM_DEFAULT_BYTES,
+    ) -> None:
+        self.geometry = geometry or DimmGeometry()
+        self.params = params or MachineParams()
+        self.mram_bytes = mram_bytes
+        self._memories: dict[int, PeMemory] = {}
+        self._alloc_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_testbed(cls, params: MachineParams | None = None,
+                      mram_bytes: int = 64 << 20) -> "DimmSystem":
+        """The evaluation system: 4 ch x 4 rk x 8 chips x 8 banks.
+
+        MRAM defaults to the real UPMEM bank size (64 MiB); memories
+        are lazy, so analytic runs still allocate nothing.
+        """
+        return cls(DimmGeometry(4, 4, 8, 8), params, mram_bytes)
+
+    @classmethod
+    def small(cls, params: MachineParams | None = None,
+              mram_bytes: int = MRAM_DEFAULT_BYTES) -> "DimmSystem":
+        """A small system for tests: 2 ch x 1 rk x 4 chips x 4 banks = 32 PEs."""
+        return cls(DimmGeometry(2, 1, 4, 4), params, mram_bytes)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        return self.geometry.num_pes
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Reserve ``nbytes`` of symmetric MRAM on every PE.
+
+        Returns the offset, valid on all PEs (UPMEM symbols work the
+        same way).  A simple bump allocator; there is no free().
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"alloc size must be positive, got {nbytes}")
+        if align <= 0 or align & (align - 1):
+            raise AllocationError(f"align must be a power of two, got {align}")
+        offset = (self._alloc_cursor + align - 1) & ~(align - 1)
+        if offset + nbytes > self.mram_bytes:
+            raise AllocationError(
+                f"MRAM exhausted: need [{offset}, {offset + nbytes}) of "
+                f"{self.mram_bytes} bytes per PE")
+        self._alloc_cursor = offset + nbytes
+        return offset
+
+    def reset_allocations(self) -> None:
+        """Forget all allocations (buffers' contents are untouched)."""
+        self._alloc_cursor = 0
+
+    def memory(self, pe_id: int) -> PeMemory:
+        """The (lazily created) memories of one PE."""
+        self.geometry._check_pe(pe_id)
+        mem = self._memories.get(pe_id)
+        if mem is None:
+            mem = PeMemory(self.mram_bytes)
+            self._memories[pe_id] = mem
+        return mem
+
+    @property
+    def touched_pes(self) -> int:
+        """How many PEs have materialized memories (test/debug aid)."""
+        return len(self._memories)
+
+    # ------------------------------------------------------------------
+    # Per-PE typed access (the PE's own element view of its bank)
+    # ------------------------------------------------------------------
+    def write_elements(self, pe_id: int, offset: int, values: np.ndarray,
+                       dtype: DataType) -> None:
+        """Store a 1-D element array into a PE's MRAM at ``offset``."""
+        arr = np.ascontiguousarray(values, dtype=dtype.np_dtype)
+        if arr.ndim != 1:
+            raise TransferError(f"expected 1-D values, got shape {arr.shape}")
+        self.memory(pe_id).write(offset, arr.view(np.uint8))
+
+    def read_elements(self, pe_id: int, offset: int, count: int,
+                      dtype: DataType) -> np.ndarray:
+        """Load ``count`` elements from a PE's MRAM at ``offset``."""
+        nbytes = count * dtype.itemsize
+        raw = self.memory(pe_id).read(offset, nbytes)
+        return raw.view(dtype.np_dtype)
+
+    # ------------------------------------------------------------------
+    # Lane-matrix access (the host's burst view over an ordered PE list)
+    # ------------------------------------------------------------------
+    def read_lanes(self, pe_ids: Sequence[int], offset: int,
+                   nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` at ``offset`` from each PE into a lane matrix.
+
+        Row ``i`` of the returned ``(len(pe_ids), nbytes)`` uint8 array
+        is PE ``pe_ids[i]``'s bytes.  This is the raw (PIM-domain) view
+        a domain-transfer-free host transfer produces.
+        """
+        if not pe_ids:
+            raise TransferError("read_lanes over an empty PE list")
+        rows = [self.memory(pe).read(offset, nbytes) for pe in pe_ids]
+        return np.stack(rows, axis=0)
+
+    def write_lanes(self, pe_ids: Sequence[int], offset: int,
+                    matrix: np.ndarray) -> None:
+        """Write lane matrix rows back to the PEs (inverse of read_lanes)."""
+        mat = np.asarray(matrix)
+        if mat.ndim != 2 or mat.dtype != np.uint8:
+            raise TransferError(
+                f"expected 2-D uint8 lane matrix, got {mat.dtype} ndim={mat.ndim}")
+        if mat.shape[0] != len(pe_ids):
+            raise TransferError(
+                f"lane matrix has {mat.shape[0]} rows for {len(pe_ids)} PEs")
+        for row, pe in zip(mat, pe_ids):
+            self.memory(pe).write(offset, row)
+
+    # ------------------------------------------------------------------
+    # Bulk host <-> PIM helpers (per-PE distinct payloads)
+    # ------------------------------------------------------------------
+    def scatter_elements(self, pe_ids: Iterable[int], offset: int,
+                         per_pe_values: Sequence[np.ndarray],
+                         dtype: DataType) -> None:
+        """Write a distinct element array to each PE (functional only)."""
+        pes = list(pe_ids)
+        if len(pes) != len(per_pe_values):
+            raise TransferError(
+                f"{len(pes)} PEs but {len(per_pe_values)} payloads")
+        for pe, values in zip(pes, per_pe_values):
+            self.write_elements(pe, offset, values, dtype)
+
+    def gather_elements(self, pe_ids: Iterable[int], offset: int,
+                        count: int, dtype: DataType) -> list[np.ndarray]:
+        """Read ``count`` elements from each PE (functional only)."""
+        return [self.read_elements(pe, offset, count, dtype) for pe in pe_ids]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DimmSystem({self.geometry.describe()})"

@@ -1,0 +1,16 @@
+"""Multi-host extension (paper section IX-A, Figure 23b)."""
+
+from .mpi_sim import MpiSimulator
+from .hierarchical import (
+    MultiHostSystem,
+    multihost_allgather,
+    multihost_allreduce,
+    multihost_alltoall,
+    multihost_reduce_scatter,
+)
+
+__all__ = [
+    "MpiSimulator", "MultiHostSystem",
+    "multihost_allreduce", "multihost_alltoall",
+    "multihost_reduce_scatter", "multihost_allgather",
+]

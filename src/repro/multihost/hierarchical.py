@@ -1,0 +1,323 @@
+"""Hierarchical multi-host collectives (paper Figure 23b).
+
+Each host owns one UPMEM channel (4 ranks x 8 chips x 8 banks = 256
+PEs, as in the paper's testbed) and runs PID-Comm locally; the global
+phase runs over simulated MPI at 10 Gbps.  AllReduce ships only the
+locally-reduced vector (1/256th of the data), so its MPI overhead is
+small; AlltoAll has no reduction and pays the full ``(N-1)/N`` crossing
+cost -- exactly the asymmetry the paper's figure shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.collectives import FULL, OptConfig
+from ..core.collectives.planner import (
+    GATHER_SCRATCH,
+    REDUCE_SCRATCH,
+    plan_broadcast,
+    plan_gather,
+    plan_reduce,
+    plan_scatter,
+)
+from ..core.hypercube import HypercubeManager
+from ..dtypes import DataType, INT64, ReduceOp, SUM
+from ..errors import CollectiveError
+from ..hw.geometry import DimmGeometry
+from ..hw.system import DimmSystem
+from ..hw.timing import CostLedger, MachineParams
+from .mpi_sim import MpiSimulator
+
+
+@dataclass
+class MultiHostResult:
+    """Outcome of one hierarchical collective."""
+
+    ledger: CostLedger          # one host's local work (hosts run in parallel)
+    mpi_seconds: float
+    #: host -> per-PE output vectors (functional runs only).
+    outputs: list[list[np.ndarray]] | None = None
+
+    @property
+    def seconds(self) -> float:
+        return self.ledger.total + self.mpi_seconds
+
+
+class MultiHostSystem:
+    """``num_hosts`` single-channel UPMEM systems + an MPI fabric."""
+
+    def __init__(self, num_hosts: int, params: MachineParams | None = None,
+                 ranks_per_channel: int = 4, mram_bytes: int = 1 << 20,
+                 config: OptConfig = FULL) -> None:
+        if num_hosts < 1:
+            raise CollectiveError("need at least one host")
+        self.params = params or MachineParams()
+        self.config = config
+        self.systems = [
+            DimmSystem(DimmGeometry(1, ranks_per_channel, 8, 8),
+                       self.params, mram_bytes)
+            for _ in range(num_hosts)
+        ]
+        self.managers = [
+            HypercubeManager(system, shape=(system.num_pes,))
+            for system in self.systems
+        ]
+        self.mpi = MpiSimulator(self.params, num_hosts)
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.systems)
+
+    @property
+    def pes_per_host(self) -> int:
+        return self.systems[0].num_pes
+
+    @property
+    def total_pes(self) -> int:
+        return self.num_hosts * self.pes_per_host
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate the same buffer on every host (symmetric offsets)."""
+        offsets = {system.alloc(nbytes) for system in self.systems}
+        if len(offsets) != 1:
+            raise CollectiveError("host allocators diverged")
+        return offsets.pop()
+
+    def write_pe(self, global_pe: int, offset: int, values: np.ndarray,
+                 dtype: DataType = INT64) -> None:
+        """Write elements to a PE addressed by its *global* id."""
+        host, local = divmod(global_pe, self.pes_per_host)
+        self.systems[host].write_elements(local, offset, values, dtype)
+
+    def read_pe(self, global_pe: int, offset: int, count: int,
+                dtype: DataType = INT64) -> np.ndarray:
+        """Read elements from a PE addressed by its *global* id."""
+        host, local = divmod(global_pe, self.pes_per_host)
+        return self.systems[host].read_elements(local, offset, count, dtype)
+
+
+def multihost_allreduce(mh: MultiHostSystem, total_data_size: int,
+                        src_offset: int, dst_offset: int,
+                        dtype: DataType = INT64, op: ReduceOp = SUM,
+                        functional: bool = True) -> MultiHostResult:
+    """Global AllReduce: local Reduce -> MPI allreduce -> local Broadcast.
+
+    Only ``total_data_size`` bytes per host cross the network (the data
+    is reduced over the host's PEs first).
+    """
+    ledger = CostLedger()
+    host_vectors: list[np.ndarray] = []
+    for host, manager in enumerate(mh.managers):
+        plan = plan_reduce(manager, "1", total_data_size, src_offset, dtype,
+                           op, mh.config)
+        host_ledger, ctx = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)  # hosts run in parallel
+        if functional and ctx is not None:
+            acc = ctx.scratch[REDUCE_SCRATCH][0]
+            host_vectors.append(np.ascontiguousarray(acc).reshape(-1))
+
+    mpi_seconds = mh.mpi.allreduce_seconds(total_data_size)
+    reduced = None
+    if functional:
+        reduced = mh.mpi.allreduce(host_vectors, op)
+
+    outputs = None
+    for host, manager in enumerate(mh.managers):
+        payloads = ({0: reduced[host]} if functional else None)
+        plan = plan_broadcast(manager, "1", total_data_size, dst_offset,
+                              dtype, payloads, mh.config)
+        host_ledger, _ = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)
+    if functional:
+        elems = total_data_size // dtype.itemsize
+        outputs = [[mh.systems[h].read_elements(pe, dst_offset, elems, dtype)
+                    for pe in range(mh.pes_per_host)]
+                   for h in range(mh.num_hosts)]
+    return MultiHostResult(ledger=ledger, mpi_seconds=mpi_seconds,
+                           outputs=outputs)
+
+
+def multihost_reduce_scatter(mh: MultiHostSystem, total_data_size: int,
+                             src_offset: int, dst_offset: int,
+                             dtype: DataType = INT64, op: ReduceOp = SUM,
+                             functional: bool = True) -> MultiHostResult:
+    """Global ReduceScatter: local Reduce -> MPI reduce_scatter -> local
+    Scatter of each host's shard.
+
+    Like AllReduce, the data crosses the network *after* the local
+    reduction ("similar trends persist in ReduceScatter whose data are
+    sent after reduction", section IX-A).  Semantics: the global vector
+    splits into ``total_pes`` chunks; global PE ``i`` receives reduced
+    chunk ``i``.
+    """
+    n_hosts = mh.num_hosts
+    p = mh.pes_per_host
+    total_global = n_hosts * p
+    if total_data_size % total_global:
+        raise CollectiveError(
+            f"per-PE size {total_data_size}B must split into "
+            f"{total_global} global chunks")
+    chunk = total_data_size // total_global
+    if chunk % dtype.itemsize:
+        raise CollectiveError("chunk must hold whole elements")
+
+    ledger = CostLedger()
+    host_vectors: list[np.ndarray] = []
+    for host, manager in enumerate(mh.managers):
+        plan = plan_reduce(manager, "1", total_data_size, src_offset, dtype,
+                           op, mh.config)
+        host_ledger, ctx = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)
+        if functional and ctx is not None:
+            acc = ctx.scratch[REDUCE_SCRATCH][0]
+            host_vectors.append(np.ascontiguousarray(acc).reshape(-1))
+
+    mpi_seconds = mh.mpi.reduce_scatter_seconds(total_data_size)
+    shards = None
+    if functional:
+        reduced = mh.mpi.allreduce(host_vectors, op)[0]
+        raw = np.ascontiguousarray(reduced).view(np.uint8)
+        shards = raw.reshape(n_hosts, p * chunk)
+
+    outputs = None
+    for host, manager in enumerate(mh.managers):
+        payloads = ({0: shards[host]} if functional else None)
+        plan = plan_scatter(manager, "1", chunk, dst_offset, dtype,
+                            payloads, mh.config)
+        host_ledger, _ = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)
+    if functional:
+        elems = chunk // dtype.itemsize
+        outputs = [[mh.systems[h].read_elements(pe, dst_offset, elems, dtype)
+                    for pe in range(p)]
+                   for h in range(n_hosts)]
+    return MultiHostResult(ledger=ledger, mpi_seconds=mpi_seconds,
+                           outputs=outputs)
+
+
+def multihost_allgather(mh: MultiHostSystem, total_data_size: int,
+                        src_offset: int, dst_offset: int,
+                        dtype: DataType = INT64,
+                        functional: bool = True) -> MultiHostResult:
+    """Global AllGather: local Gather -> MPI allgather -> local Broadcast.
+
+    The data crosses *before* duplication ("AllGather whose data are
+    sent before duplication", section IX-A): each host ships its own
+    ``p * chunk`` bytes once, then replicates locally at bus speed.
+    """
+    if total_data_size % dtype.itemsize:
+        raise CollectiveError("chunk must hold whole elements")
+    n_hosts = mh.num_hosts
+    p = mh.pes_per_host
+
+    ledger = CostLedger()
+    gathered: list[np.ndarray] = []
+    for host, manager in enumerate(mh.managers):
+        plan = plan_gather(manager, "1", total_data_size, src_offset, dtype,
+                           mh.config)
+        host_ledger, ctx = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)
+        if functional and ctx is not None:
+            gathered.append(np.asarray(ctx.scratch[GATHER_SCRATCH][0],
+                                       dtype=np.uint8))
+
+    mpi_seconds = mh.mpi.allgather_seconds(p * total_data_size)
+    full = None
+    if functional:
+        full = np.concatenate(gathered)
+
+    outputs = None
+    out_bytes = n_hosts * p * total_data_size
+    for host, manager in enumerate(mh.managers):
+        payloads = ({0: full} if functional else None)
+        plan = plan_broadcast(manager, "1", out_bytes, dst_offset, dtype,
+                              payloads, mh.config)
+        host_ledger, _ = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)
+    if functional:
+        elems = out_bytes // dtype.itemsize
+        outputs = [[mh.systems[h].read_elements(pe, dst_offset, elems, dtype)
+                    for pe in range(p)]
+                   for h in range(n_hosts)]
+    return MultiHostResult(ledger=ledger, mpi_seconds=mpi_seconds,
+                           outputs=outputs)
+
+
+def multihost_alltoall(mh: MultiHostSystem, total_data_size: int,
+                       src_offset: int, dst_offset: int,
+                       dtype: DataType = INT64,
+                       functional: bool = True) -> MultiHostResult:
+    """Global AlltoAll: local Gather -> MPI alltoall -> local Scatter.
+
+    Every PE's buffer holds ``total_pes`` chunks in global PE order
+    (host-major).  Unlike AllReduce, the full ``(N-1)/N`` share of the
+    data crosses the network.
+    """
+    n_hosts = mh.num_hosts
+    p = mh.pes_per_host
+    total_global = n_hosts * p
+    if total_data_size % total_global:
+        raise CollectiveError(
+            f"per-PE size {total_data_size}B must split into "
+            f"{total_global} global chunks")
+    chunk = total_data_size // total_global
+    if chunk % dtype.itemsize:
+        raise CollectiveError("chunk must hold whole elements")
+
+    ledger = CostLedger()
+    gathered: list[np.ndarray] = []
+    for host, manager in enumerate(mh.managers):
+        plan = plan_gather(manager, "1", total_data_size, src_offset, dtype,
+                           mh.config)
+        host_ledger, ctx = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)
+        if functional and ctx is not None:
+            gathered.append(ctx.scratch[GATHER_SCRATCH][0])
+
+    # Host-side re-blocking for MPI (charged as local modulation).
+    per_host_bytes = p * total_data_size
+    ledger.add("host_mod", mh.params.mod_time(per_host_bytes, "local"))
+    ledger.add("host_mem", mh.params.host_mem_time(2 * per_host_bytes))
+    mpi_seconds = mh.mpi.alltoall_seconds(per_host_bytes)
+
+    received = None
+    if functional:
+        blocks = []
+        for buf in gathered:
+            arr = np.asarray(buf, dtype=np.uint8).reshape(
+                p, n_hosts, p, chunk)
+            blocks.append(np.ascontiguousarray(
+                arr.transpose(1, 0, 2, 3)).reshape(-1))
+        received = mh.mpi.alltoall(blocks)
+
+    outputs = None
+    for host, manager in enumerate(mh.managers):
+        payloads = None
+        if functional:
+            arr = np.asarray(received[host], dtype=np.uint8).reshape(
+                n_hosts, p, p, chunk)
+            # Local PE q receives chunk [src_host, src_local, q].
+            payloads = {0: np.ascontiguousarray(
+                arr.transpose(2, 0, 1, 3)).reshape(-1)}
+        plan = plan_scatter(manager, "1", total_data_size, dst_offset,
+                            dtype, payloads, mh.config)
+        host_ledger, _ = plan.run(manager.system, functional=functional)
+        if host == 0:
+            ledger.merge(host_ledger)
+    if functional:
+        elems = total_data_size // dtype.itemsize
+        outputs = [[mh.systems[h].read_elements(pe, dst_offset, elems, dtype)
+                    for pe in range(mh.pes_per_host)]
+                   for h in range(mh.num_hosts)]
+    return MultiHostResult(ledger=ledger, mpi_seconds=mpi_seconds,
+                           outputs=outputs)

@@ -1,0 +1,102 @@
+"""Simulated MPI over a bandwidth-limited interconnect.
+
+The paper's multi-host testbed runs Open MPI with the bandwidth
+throttled to 10 Gbps (high-speed ethernet).  We model the standard
+ring-based collective costs -- transfer volume proportional to
+``(N-1)/N`` as the paper itself notes -- plus per-message latency, and
+provide functional (numpy) counterparts for correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dtypes import ReduceOp
+from ..errors import CollectiveError
+from ..hw.timing import MachineParams
+
+
+@dataclass
+class MpiSimulator:
+    """Cost + functional model of MPI collectives among ``num_hosts``."""
+
+    params: MachineParams
+    num_hosts: int
+
+    def __post_init__(self) -> None:
+        if self.num_hosts < 1:
+            raise CollectiveError("MPI needs at least one host")
+
+    # ------------------------------------------------------------------
+    # Cost model (seconds)
+    # ------------------------------------------------------------------
+    def _ring_factor(self) -> float:
+        n = self.num_hosts
+        return (n - 1) / n
+
+    def allreduce_seconds(self, nbytes_per_host: float) -> float:
+        """Ring allreduce: 2 (N-1)/N volume, 2(N-1) messages."""
+        if self.num_hosts == 1:
+            return 0.0
+        return self.params.mpi_time(
+            2.0 * self._ring_factor() * nbytes_per_host,
+            messages=2 * (self.num_hosts - 1))
+
+    def alltoall_seconds(self, nbytes_per_host: float) -> float:
+        """Pairwise alltoall: (N-1)/N of each host's buffer crosses."""
+        if self.num_hosts == 1:
+            return 0.0
+        return self.params.mpi_time(
+            self._ring_factor() * nbytes_per_host,
+            messages=self.num_hosts - 1)
+
+    def allgather_seconds(self, nbytes_per_host: float) -> float:
+        """Ring allgather: each host's share crosses once."""
+        if self.num_hosts == 1:
+            return 0.0
+        return self.params.mpi_time(
+            self._ring_factor() * nbytes_per_host * self.num_hosts,
+            messages=self.num_hosts - 1)
+
+    def reduce_scatter_seconds(self, nbytes_per_host: float) -> float:
+        """Ring reduce-scatter: (N-1)/N of the buffer crosses."""
+        if self.num_hosts == 1:
+            return 0.0
+        return self.params.mpi_time(
+            self._ring_factor() * nbytes_per_host,
+            messages=self.num_hosts - 1)
+
+    # ------------------------------------------------------------------
+    # Functional counterparts
+    # ------------------------------------------------------------------
+    def allreduce(self, buffers: Sequence[np.ndarray], op: ReduceOp
+                  ) -> list[np.ndarray]:
+        """Elementwise-reduce per-host buffers; every host gets the result."""
+        self._check(buffers)
+        reduced = op.reduce_axis(np.stack(buffers), axis=0)
+        return [reduced.copy() for _ in buffers]
+
+    def alltoall(self, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Host h's buffer is num_hosts blocks; block g goes to host g."""
+        self._check(buffers)
+        n = self.num_hosts
+        out = []
+        for dest in range(n):
+            blocks = []
+            for src in range(n):
+                buf = buffers[src]
+                if buf.shape[0] % n:
+                    raise CollectiveError(
+                        "alltoall buffers must split evenly across hosts")
+                block = buf.reshape(n, -1)[dest]
+                blocks.append(block)
+            out.append(np.concatenate(blocks))
+        return out
+
+    def _check(self, buffers: Sequence[np.ndarray]) -> None:
+        if len(buffers) != self.num_hosts:
+            raise CollectiveError(
+                f"expected {self.num_hosts} buffers, got {len(buffers)}")

@@ -1,0 +1,14 @@
+"""PID-Comm on other PIM architectures (paper section IX, Figure 24)."""
+
+from .architectures import (
+    ARCHITECTURE_PROFILES,
+    ArchitectureProfile,
+    variant_allreduce,
+    variant_alltoall,
+)
+from .dsa import dsa_offload_params
+
+__all__ = [
+    "ArchitectureProfile", "ARCHITECTURE_PROFILES",
+    "variant_allreduce", "variant_alltoall", "dsa_offload_params",
+]

@@ -1,0 +1,174 @@
+"""PID-Comm adapted to other PIM hardware (section IX-A, Figure 24).
+
+The paper argues the core ideas carry to any PIM without a globally
+shared medium, splitting architectures by whether a *partial*
+communication medium exists:
+
+* **UPMEM** (the baseline): no medium at all; everything host-mediated;
+  byte-striped entangled groups make the domain transfer necessary.
+* **HBM-PIM**: PEs attached per two banks of a single chip -- there is
+  no cross-chip striping, so no domain transfer exists to remove
+  (PID-Comm applies *without* cross-domain modulation, which has
+  nothing left to fuse).
+* **AxDIMM**: a rank-level buffer connects the PEs of one DIMM; the
+  connected PEs run a first local pass over it, then the groups act as
+  *super-PEs* whose global pass is ordinary PID-Comm.
+* **CXL-NMP**: same hierarchical shape with a pool-level medium (wider
+  local groups, slower link).
+
+These are analytic models (the paper itself only sketches them); each
+profile reuses the calibrated PID-Comm cost machinery with the
+architectural deltas above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.collectives import FULL, plan_allreduce, plan_alltoall
+from ..core.hypercube import HypercubeManager
+from ..dtypes import INT64, SUM
+from ..errors import PidCommError
+from ..hw.geometry import DimmGeometry
+from ..hw.system import DimmSystem
+from ..hw.timing import GB, CostLedger, MachineParams
+
+
+@dataclass(frozen=True)
+class ArchitectureProfile:
+    """One PIM architecture variant."""
+
+    name: str
+    #: Whether host transfers need the byte-transpose domain transfer.
+    has_domain_transfer: bool
+    #: PEs connected by a partial local medium (1 = none).
+    local_group: int
+    #: Bandwidth of that medium in GB/s (unused when local_group == 1).
+    local_gbps: float = 0.0
+    notes: str = ""
+
+    def local_phase_seconds(self, payload_per_pe: int, reduction: bool
+                            ) -> float:
+        """Cost of the intra-group pass over the local medium.
+
+        A ring pass over ``local_group`` members moves
+        ``(g-1)/g * payload`` per member for a reduction and the full
+        payload for a redistribution.
+        """
+        if self.local_group <= 1:
+            return 0.0
+        g = self.local_group
+        factor = (g - 1) / g if reduction else 1.0
+        return g * payload_per_pe * factor / (self.local_gbps * GB)
+
+
+ARCHITECTURE_PROFILES = {
+    "upmem": ArchitectureProfile(
+        "UPMEM", has_domain_transfer=True, local_group=1,
+        notes="commodity PIM-enabled DIMMs (the paper's testbed)"),
+    "hbm-pim": ArchitectureProfile(
+        "HBM-PIM", has_domain_transfer=False, local_group=1,
+        notes="per-2-bank PEs, single chip: no byte striping, no DT"),
+    "axdimm": ArchitectureProfile(
+        "AxDIMM", has_domain_transfer=True, local_group=8,
+        local_gbps=25.0,
+        notes="rank-level buffer links 8 PEs; host handles super-PEs"),
+    "cxl-nmp": ArchitectureProfile(
+        "CXL-NMP", has_domain_transfer=True, local_group=64,
+        local_gbps=12.0,
+        notes="pool-level medium links 64 PEs over CXL"),
+}
+
+
+def _no_dt_params(params: MachineParams) -> MachineParams:
+    """Parameters for architectures whose transfers need no transpose."""
+    return params.scaled(dt_gbps_per_core=1e12)  # effectively free
+
+
+def _variant_system(profile: ArchitectureProfile,
+                    params: MachineParams | None,
+                    num_pes: int) -> tuple[DimmSystem, HypercubeManager, int]:
+    """System + hypercube over the *host-visible* units of a profile.
+
+    For partial-medium architectures the host only routes between
+    super-PEs (one per local group), so the hypercube is built over
+    ``num_pes / local_group`` units.
+    """
+    params = params or MachineParams()
+    if not profile.has_domain_transfer:
+        params = _no_dt_params(params)
+    units = num_pes // max(1, profile.local_group)
+    if units < 8:
+        raise PidCommError(
+            f"{profile.name}: need at least 8 host-visible units, "
+            f"got {units}")
+    geometry = DimmGeometry(1, max(1, units // 64), 8,
+                            max(1, min(8, units // 8)))
+    if geometry.num_pes < units:
+        geometry = DimmGeometry(1, units // 64 or 1, 8, 8)
+    system = DimmSystem(geometry, params)
+    manager = HypercubeManager(system, shape=(units,))
+    return system, manager, units
+
+
+def variant_allreduce(profile_name: str, num_pes: int = 1024,
+                      payload_per_pe: int = 1 << 20,
+                      params: MachineParams | None = None) -> dict:
+    """Modelled AllReduce time on an architecture variant.
+
+    Partial-medium profiles reduce locally first, so the host-level
+    pass handles ``1/local_group`` of the data -- the same volume
+    argument as the paper's multi-host AllReduce.
+    """
+    profile = _get(profile_name)
+    system, manager, units = _variant_system(profile, params, num_pes)
+    local = profile.local_phase_seconds(payload_per_pe, reduction=True)
+    plan = plan_allreduce(manager, "1", payload_per_pe, 0, 0, INT64, SUM,
+                          FULL)
+    global_ledger = plan.estimate(system)
+    return _result(profile, units, local, global_ledger)
+
+
+def variant_alltoall(profile_name: str, num_pes: int = 1024,
+                     payload_per_pe: int = 1 << 20,
+                     params: MachineParams | None = None) -> dict:
+    """Modelled AlltoAll time on an architecture variant.
+
+    AlltoAll has no reduction, so the local medium only helps with the
+    intra-group share; the full inter-group volume still crosses the
+    host (per-super-PE payload grows by ``local_group``).
+    """
+    profile = _get(profile_name)
+    system, manager, units = _variant_system(profile, params, num_pes)
+    local = profile.local_phase_seconds(payload_per_pe, reduction=False)
+    per_unit = payload_per_pe * max(1, profile.local_group)
+    plan = plan_alltoall(manager, "1", _align(per_unit, units), 0, 0,
+                         INT64, FULL)
+    global_ledger = plan.estimate(system)
+    return _result(profile, units, local, global_ledger)
+
+
+def _align(nbytes: int, units: int) -> int:
+    chunk = max(8, (nbytes // units) // 8 * 8)
+    return chunk * units
+
+
+def _get(name: str) -> ArchitectureProfile:
+    try:
+        return ARCHITECTURE_PROFILES[name]
+    except KeyError:
+        raise PidCommError(
+            f"unknown architecture {name!r}; known: "
+            f"{sorted(ARCHITECTURE_PROFILES)}") from None
+
+
+def _result(profile: ArchitectureProfile, units: int, local_seconds: float,
+            global_ledger: CostLedger) -> dict:
+    return {
+        "architecture": profile.name,
+        "host_visible_units": units,
+        "local_s": local_seconds,
+        "global_s": global_ledger.total,
+        "dt_s": global_ledger.get("dt"),
+        "total_s": local_seconds + global_ledger.total,
+    }

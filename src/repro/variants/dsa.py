@@ -1,0 +1,38 @@
+"""What-if: offloading the host's data modulation to a DSA-like engine.
+
+Section IX-B suggests that a future Intel Data Streaming Accelerator
+with shift/add/domain-transfer support could replace the host CPU in
+PID-Comm's data path.  This module builds the corresponding machine
+parameters: modulation, domain transfer, and reduction run at the
+accelerator's streaming rate instead of occupying CPU cores.
+"""
+
+from __future__ import annotations
+
+from ..hw.timing import MachineParams
+
+
+def dsa_offload_params(base: MachineParams | None = None,
+                       dsa_gbps: float = 160.0) -> MachineParams:
+    """Machine parameters with the host data path offloaded to a DSA.
+
+    ``dsa_gbps`` is the accelerator's streaming throughput; the engines
+    handle shifts, transposes, and vertical adds at line rate, so all
+    host-side per-byte categories collapse to that single rate (and the
+    ``host_cores`` parallelism no longer applies -- we fold it in by
+    dividing the per-core rates).  The default models the future
+    multi-engine DSA the paper wishes for ("could fully replace the
+    host with an even higher speedup"); today's single engine at
+    ~30 GB/s would not beat ten AVX-512 cores.
+    """
+    base = base or MachineParams()
+    per_core = dsa_gbps / base.host_cores
+    return base.scaled(
+        dt_gbps_per_core=per_core,
+        mod_scalar_gbps_per_core=per_core,
+        mod_local_gbps_per_core=per_core,
+        mod_simd_gbps_per_core=per_core,
+        mod_shuffle_gbps_per_core=per_core,
+        reduce_simd_gbps_per_core=per_core,
+        reduce_scalar_gbps_per_core=per_core,
+    )

@@ -1,0 +1,123 @@
+"""Tests for the public API surface, validation sweep, and CLI."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALL_PRIMITIVES,
+    BASELINE,
+    CommResult,
+    DimmSystem,
+    HypercubeManager,
+    PidCommError,
+    pidcomm_allreduce,
+    pidcomm_alltoall,
+    pidcomm_broadcast,
+    pidcomm_gather,
+)
+from repro.__main__ import EXPERIMENTS, main
+from repro.core.validation import verify_collectives
+from repro.dtypes import INT32
+from repro.errors import CollectiveError
+
+
+@pytest.fixture
+def manager():
+    return HypercubeManager(DimmSystem.small(mram_bytes=1 << 16),
+                            shape=(4, 8))
+
+
+class TestApiSurface:
+    def test_all_primitives_listed(self):
+        assert len(ALL_PRIMITIVES) == 8
+
+    def test_string_dtype_and_op_accepted(self, manager):
+        system = manager.system
+        src, dst = system.alloc(32), system.alloc(32)
+        system.write_elements(0, src, np.arange(8, dtype=np.int32), INT32)
+        result = pidcomm_allreduce(manager, "10", 32, src, dst,
+                                   data_type="int32",
+                                   reduction_type="max")
+        assert isinstance(result, CommResult)
+        assert result.seconds > 0
+
+    def test_unknown_dtype_rejected(self, manager):
+        with pytest.raises(CollectiveError, match="unknown data type"):
+            pidcomm_alltoall(manager, "10", 32, 0, 0, data_type="quad",
+                             functional=False)
+
+    def test_unknown_op_rejected(self, manager):
+        with pytest.raises(CollectiveError, match="unknown reduce op"):
+            pidcomm_allreduce(manager, "10", 32, 0, 0,
+                              reduction_type="xor", functional=False)
+
+    def test_commresult_carries_plan_and_ledger(self, manager):
+        result = pidcomm_alltoall(manager, "10", 32, 0, 32,
+                                  functional=False)
+        assert result.plan.primitive == "alltoall"
+        assert result.ledger.total == pytest.approx(result.seconds)
+        assert result.host_outputs is None
+
+    def test_gather_outputs_typed(self, manager):
+        system = manager.system
+        src = system.alloc(16)
+        for pe in manager.all_pes:
+            system.write_elements(pe, src, np.array([pe, pe],
+                                                    dtype=np.int32), INT32)
+        result = pidcomm_gather(manager, "10", 16, src, data_type="int32")
+        out = result.host_outputs[0]
+        assert out.dtype == np.int32
+
+    def test_baseline_config_through_api(self, manager):
+        fast = pidcomm_alltoall(manager, "10", 1 << 12, 0, 0,
+                                functional=False)
+        slow = pidcomm_alltoall(manager, "10", 1 << 12, 0, 0,
+                                config=BASELINE, functional=False)
+        assert slow.plan.meta["config"] == "Baseline"
+        assert fast.plan.meta["config"] == "+CM"
+
+    def test_broadcast_payload_size_checked(self, manager):
+        with pytest.raises(PidCommError):
+            pidcomm_broadcast(manager, "10", 16, 0,
+                              payloads={i: np.arange(1) for i in range(8)})
+
+
+class TestValidationSweep:
+    def test_full_sweep_passes(self):
+        report = verify_collectives()
+        assert report.ok, str(report)
+        assert report.checks >= 90
+
+    def test_report_str_mentions_status(self):
+        report = verify_collectives(dims_list=("100",),
+                                    configs=(BASELINE,))
+        assert "OK" in str(report)
+
+    def test_bad_dims_reported_not_raised(self):
+        report = verify_collectives(dims_list=("10",))
+        assert not report.ok
+        assert "does not match shape" in report.failures[0]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "table1" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "PID-Comm" in out
+        assert "regenerated in" in out
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_registry_complete(self):
+        # Every evaluation artifact in DESIGN.md has a CLI entry.
+        for name in ("table1", "table3", "fig04", "fig13", "fig14", "fig15",
+                     "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+                     "fig22", "fig23a", "fig23b"):
+            assert name in EXPERIMENTS

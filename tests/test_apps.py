@@ -1,0 +1,254 @@
+"""Functional validation of the five benchmark applications.
+
+Every app runs on the simulated 32-PE system with both the PID-Comm and
+the baseline backend and must produce outputs bit-identical to its
+golden (single-machine numpy) model -- proving the distributed
+implementations, and the collectives underneath them, are correct.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HypercubeManager
+from repro.apps import (
+    BaselineCommBackend,
+    BfsApp,
+    BfsConfig,
+    CcApp,
+    CcConfig,
+    DlrmApp,
+    DlrmConfig,
+    GnnApp,
+    GnnConfig,
+    MlpApp,
+    MlpConfig,
+    PidCommBackend,
+    app_table,
+)
+from repro.apps.bfs import golden_bfs
+from repro.apps.cc import golden_cc
+from repro.apps.dlrm import golden_dlrm
+from repro.apps.gnn import golden_gnn
+from repro.apps.mlp import golden_mlp
+from repro.data import criteo_like, random_graph, rmat_graph
+from repro.data.synthetic import embedding_tables
+from repro.errors import AppError
+from repro.hw.system import DimmSystem
+
+BACKENDS = [PidCommBackend(), BaselineCommBackend()]
+BACKEND_IDS = ["pidcomm", "baseline"]
+
+
+def manager_1d(pes=32, mram=1 << 20):
+    system = DimmSystem.small(mram_bytes=mram)
+    return HypercubeManager(system, shape=(pes,))
+
+
+def manager_2d(p=4, mram=1 << 20):
+    system = DimmSystem.small(mram_bytes=mram)
+    return HypercubeManager(system, shape=(p, p))
+
+
+def manager_3d(shape=(4, 2, 2), mram=1 << 20):
+    system = DimmSystem.small(mram_bytes=mram)
+    return HypercubeManager(system, shape=shape)
+
+
+class TestMlp:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_matches_golden(self, backend):
+        app = MlpApp(MlpConfig(features=64, layers=3, batch=4, seed=1))
+        result = app.run(manager_1d(), backend, functional=True)
+        np.testing.assert_array_equal(result.output, result.meta["golden"])
+
+    def test_records_per_primitive_breakdown(self):
+        app = MlpApp(MlpConfig(features=64, layers=2, batch=2))
+        result = app.run(manager_1d(), PidCommBackend(), functional=True)
+        assert result.per_primitive["reduce_scatter"] > 0
+        assert result.per_primitive["kernel"] > 0
+        assert result.per_primitive["scatter"] > 0
+        assert result.seconds == pytest.approx(
+            sum(result.per_primitive.values()))
+
+    def test_analytic_mode_no_memory(self):
+        system = DimmSystem.paper_testbed()
+        manager = HypercubeManager(system, shape=(1024,))
+        app = MlpApp(MlpConfig(features=16 * 1024, layers=5, batch=256))
+        result = app.run(manager, PidCommBackend(), functional=False)
+        assert result.output is None
+        assert result.seconds > 0
+        assert system.touched_pes == 0
+
+    def test_indivisible_features_rejected(self):
+        app = MlpApp(MlpConfig(features=50, layers=2, batch=2))
+        with pytest.raises(AppError, match="divide"):
+            app.run(manager_1d(), PidCommBackend())
+
+
+class TestBfs:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_matches_golden(self, backend):
+        graph = rmat_graph(64, 300, seed=3)
+        app = BfsApp(graph, BfsConfig(source=0))
+        result = app.run(manager_1d(), backend, functional=True)
+        np.testing.assert_array_equal(result.output, golden_bfs(graph, 0))
+
+    def test_disconnected_vertices_stay_unreached(self):
+        graph = random_graph(64, 40, seed=5)  # sparse: many isolated
+        app = BfsApp(graph, BfsConfig(source=0))
+        result = app.run(manager_1d(), PidCommBackend(), functional=True)
+        golden = golden_bfs(graph, 0)
+        np.testing.assert_array_equal(result.output, golden)
+        assert (golden == -1).any()  # the scenario is exercised
+
+    def test_iteration_count_reported(self):
+        graph = rmat_graph(64, 300, seed=3)
+        app = BfsApp(graph, BfsConfig(source=0))
+        result = app.run(manager_1d(), PidCommBackend(), functional=True)
+        assert result.meta["iterations"] >= 1
+
+
+class TestCc:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_matches_golden(self, backend):
+        graph = random_graph(64, 80, seed=7)
+        app = CcApp(graph, CcConfig())
+        result = app.run(manager_1d(), backend, functional=True)
+        np.testing.assert_array_equal(result.output, golden_cc(graph))
+
+    def test_multiple_components_found(self):
+        graph = random_graph(64, 30, seed=11)
+        app = CcApp(graph, CcConfig())
+        result = app.run(manager_1d(), PidCommBackend(), functional=True)
+        labels = result.output
+        assert len(np.unique(labels)) > 1
+        np.testing.assert_array_equal(labels, golden_cc(graph))
+
+
+class TestGnn:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    @pytest.mark.parametrize("strategy", ["rs_ar", "ar_ag"])
+    def test_matches_golden(self, backend, strategy):
+        graph = rmat_graph(32, 128, seed=9)
+        app = GnnApp(graph, GnnConfig(features=8, layers=3,
+                                      strategy=strategy))
+        result = app.run(manager_2d(4), backend, functional=True)
+        np.testing.assert_array_equal(result.output, result.meta["golden"])
+
+    def test_even_layer_count(self):
+        # Dimension alternation must also close correctly after an even
+        # number of layers.
+        graph = rmat_graph(32, 128, seed=13)
+        app = GnnApp(graph, GnnConfig(features=8, layers=2,
+                                      strategy="rs_ar"))
+        result = app.run(manager_2d(4), PidCommBackend(), functional=True)
+        np.testing.assert_array_equal(result.output, result.meta["golden"])
+
+    def test_strategies_use_different_primitives(self):
+        graph = rmat_graph(32, 128, seed=9)
+        rs = GnnApp(graph, GnnConfig(features=8, layers=2,
+                                     strategy="rs_ar")).run(
+            manager_2d(4), PidCommBackend(), functional=True)
+        ag = GnnApp(graph, GnnConfig(features=8, layers=2,
+                                     strategy="ar_ag")).run(
+            manager_2d(4), PidCommBackend(), functional=True)
+        assert "reduce_scatter" in rs.per_primitive
+        assert "allgather" in ag.per_primitive
+        assert "allgather" not in rs.per_primitive
+        assert "reduce_scatter" not in ag.per_primitive
+
+    def test_non_square_grid_rejected(self):
+        graph = rmat_graph(32, 64)
+        app = GnnApp(graph, GnnConfig(features=8, layers=1))
+        system = DimmSystem.small()
+        manager = HypercubeManager(system, shape=(8, 4))
+        with pytest.raises(AppError, match="square"):
+            app.run(manager, PidCommBackend())
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(AppError, match="strategy"):
+            GnnConfig(strategy="ring")
+
+
+class TestDlrm:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_matches_golden(self, backend):
+        data = criteo_like(batch_size=32, num_tables=4, num_rows=16,
+                           hots=3, seed=17)
+        app = DlrmApp(data, DlrmConfig(embedding_dim=8, mlp_hidden=4))
+        result = app.run(manager_3d((4, 2, 2)), backend, functional=True)
+        np.testing.assert_array_equal(
+            result.output, result.meta["golden"].reshape(-1))
+
+    def test_shape_validation(self):
+        data = criteo_like(batch_size=32, num_tables=3, num_rows=16, hots=2)
+        app = DlrmApp(data, DlrmConfig(embedding_dim=8))
+        with pytest.raises(AppError, match="tables"):
+            app.run(manager_3d((4, 2, 2)), PidCommBackend())
+
+    def test_batch_shard_validation(self):
+        data = criteo_like(batch_size=4, num_tables=4, num_rows=16, hots=2)
+        app = DlrmApp(data, DlrmConfig(embedding_dim=8))
+        with pytest.raises(AppError, match="batch"):
+            app.run(manager_3d((4, 2, 2)), PidCommBackend())
+
+
+class TestGoldenModels:
+    def test_golden_mlp_shapes(self):
+        x = np.ones((2, 4), dtype=np.int64)
+        w = [np.eye(4, dtype=np.int64)] * 3
+        np.testing.assert_array_equal(golden_mlp(x, w), x)
+
+    def test_golden_gnn_identity(self):
+        a = np.eye(4, dtype=np.int64)
+        h = np.arange(8).reshape(4, 2)
+        w = [np.eye(2, dtype=np.int64)]
+        np.testing.assert_array_equal(golden_gnn(a, h, w), h)
+
+    def test_golden_dlrm_pools_rows(self):
+        data = criteo_like(batch_size=2, num_tables=1, num_rows=4, hots=2,
+                           seed=1)
+        tables = embedding_tables(1, 4, 2, seed=1)
+        w1 = np.eye(2, dtype=np.int64)
+        w2 = np.ones((2, 1), dtype=np.int64)
+        out = golden_dlrm(data, tables, w1, w2)
+        s0 = tables[0, data.indices[0, 0]].sum(axis=0)
+        expect0 = max(s0[0], 0) + max(s0[1], 0)
+        assert out[0, 0] == expect0
+
+
+class TestRegistry:
+    def test_table3_rows(self):
+        rows = app_table()
+        assert [r["app"] for r in rows] == [
+            "DLRM", "GNN-RS&AR", "GNN-AR&AG", "BFS", "CC", "MLP"]
+        dlrm = rows[0]
+        assert dlrm["hyper_dim"] == 3
+        assert dlrm["alltoall"] and dlrm["reduce_scatter"]
+        assert not dlrm["allreduce"]
+        bfs = rows[3]
+        assert bfs["allreduce"] and bfs["hyper_dim"] == 1
+
+
+class TestBfsLongDiameter:
+    def test_path_graph_needs_one_iteration_per_level(self):
+        """A 64-vertex path is the diameter worst case: 63 iterations,
+        levels 0..63 -- exercises the long-tail iteration loop."""
+        from repro.data.graphs import from_edges
+        n = 64
+        graph = from_edges(n, np.arange(n - 1), np.arange(1, n))
+        app = BfsApp(graph, BfsConfig(source=0))
+        result = app.run(manager_1d(), PidCommBackend(), functional=True)
+        np.testing.assert_array_equal(result.output, np.arange(n))
+        assert result.meta["iterations"] == n
+
+    def test_max_iterations_guard(self):
+        from repro.data.graphs import from_edges
+        n = 64
+        graph = from_edges(n, np.arange(n - 1), np.arange(1, n))
+        app = BfsApp(graph, BfsConfig(source=0, max_iterations=5))
+        result = app.run(manager_1d(), PidCommBackend(), functional=True)
+        assert result.meta["iterations"] == 5
+        # Only the first levels were settled before the cut-off.
+        assert (result.output[:5] == np.arange(5)).all()
+        assert (result.output[6:] == -1).all()

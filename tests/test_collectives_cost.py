@@ -1,0 +1,183 @@
+"""Cost-model behaviour of the collective plans.
+
+These tests pin the *mechanisms* the paper attributes to each
+technique: in-register modulation removes the host-memory category,
+cross-domain modulation removes the domain-transfer category, costs
+scale with payload, and analytic runs never touch simulated memory.
+"""
+
+import pytest
+
+from repro import ABLATION_LADDER, BASELINE, FULL, PR_IM, PR_ONLY
+from repro.core.collectives import (
+    plan_allgather,
+    plan_allreduce,
+    plan_alltoall,
+    plan_reduce_scatter,
+)
+from repro.core.hypercube import HypercubeManager
+from repro.dtypes import INT64, SUM
+from repro.errors import CollectiveError
+from repro.hw.system import DimmSystem
+
+KB = 1 << 10
+
+
+@pytest.fixture
+def testbed():
+    """Paper-scale system; analytic only (no memory is ever touched)."""
+    return DimmSystem.paper_testbed()
+
+
+@pytest.fixture
+def manager(testbed):
+    return HypercubeManager(testbed, shape=(32, 32))
+
+
+def ladder_ledgers(plan_fn, manager, *args):
+    return {config.label: plan_fn(manager, *args, config).estimate(
+        manager.system) for config in ABLATION_LADDER}
+
+
+class TestTechniqueMechanisms:
+    SIZE = 256 * KB
+
+    def test_in_register_removes_host_memory(self, manager):
+        ledgers = ladder_ledgers(
+            plan_alltoall, manager, "11", self.SIZE, 0, self.SIZE, INT64)
+        assert ledgers["Baseline"].get("host_mem") > 0
+        assert ledgers["+PR"].get("host_mem") > 0
+        assert ledgers["+IM"].get("host_mem") == 0
+        assert ledgers["+CM"].get("host_mem") == 0
+
+    def test_cross_domain_removes_dt_for_alltoall(self, manager):
+        ledgers = ladder_ledgers(
+            plan_alltoall, manager, "11", self.SIZE, 0, self.SIZE, INT64)
+        assert ledgers["+IM"].get("dt") > 0
+        assert ledgers["+CM"].get("dt") == 0
+
+    def test_cross_domain_cannot_remove_dt_for_reduce_scatter(self, manager):
+        ledgers = ladder_ledgers(
+            plan_reduce_scatter, manager, "11", self.SIZE, 0, self.SIZE,
+            INT64, SUM)
+        # Arithmetic on 64-bit elements always needs the domain transfer.
+        assert ledgers["+CM"].get("dt") > 0
+
+    def test_pe_reorder_moves_work_to_pes(self, manager):
+        ledgers = ladder_ledgers(
+            plan_alltoall, manager, "11", self.SIZE, 0, self.SIZE, INT64)
+        assert ledgers["Baseline"].get("pe") == 0
+        assert ledgers["+PR"].get("pe") > 0
+        # and the host modulation gets cheaper in exchange
+        assert ledgers["+PR"].get("host_mod") < ledgers["Baseline"].get(
+            "host_mod")
+
+    def test_ladder_improves_monotonically(self, manager):
+        for plan_fn, args in [
+            (plan_alltoall, ("11", self.SIZE, 0, self.SIZE, INT64)),
+            (plan_allgather, ("11", 8 * KB, 0, self.SIZE, INT64)),
+            (plan_reduce_scatter,
+             ("11", self.SIZE, 0, self.SIZE, INT64, SUM)),
+            (plan_allreduce, ("11", self.SIZE, 0, self.SIZE, INT64, SUM)),
+        ]:
+            ledgers = ladder_ledgers(plan_fn, manager, *args)
+            times = [ledgers[c.label].total for c in ABLATION_LADDER]
+            assert times == sorted(times, reverse=True), (
+                f"{plan_fn.__name__}: ladder not monotone: {times}")
+
+    def test_full_beats_baseline_by_a_lot(self, manager):
+        size = 2 << 20
+        ledgers = ladder_ledgers(
+            plan_alltoall, manager, "11", size, 0, size, INT64)
+        speedup = ledgers["Baseline"].total / ledgers["+CM"].total
+        assert speedup > 3.0
+
+
+class TestScaling:
+    def test_cost_grows_with_size(self, manager):
+        sizes = [64 * KB, 256 * KB, 1 << 20]
+        times = [plan_alltoall(manager, "11", s, 0, s, INT64).estimate(
+            manager.system).total for s in sizes]
+        assert times[0] < times[1] < times[2]
+
+    def test_byte_linear_beyond_launch(self, manager):
+        small = plan_alltoall(manager, "11", 256 * KB, 0, 0, INT64,
+                              FULL).estimate(manager.system)
+        big = plan_alltoall(manager, "11", 1 << 20, 0, 0, INT64,
+                            FULL).estimate(manager.system)
+        # Per-byte categories scale 4x; launch stays fixed.
+        assert big.get("bus") == pytest.approx(4 * small.get("bus"))
+        assert big.get("launch") == pytest.approx(small.get("launch"))
+
+    def test_more_channels_speed_up_bus(self, testbed):
+        m1 = HypercubeManager(testbed, shape=(256,))     # 1 channel
+        m4 = HypercubeManager(testbed, shape=(1024,))    # 4 channels
+        t1 = plan_alltoall(m1, "1", 256 * KB, 0, 0, INT64).estimate(testbed)
+        t4 = plan_alltoall(m4, "1", 256 * KB, 0, 0, INT64).estimate(testbed)
+        # Same per-PE bytes but 4x total data over 4x channels: the bus
+        # seconds stay flat (channel parallelism absorbs the volume).
+        assert t4.get("bus") == pytest.approx(t1.get("bus"))
+        # The host-side work does not parallelize the same way.
+        assert t4.get("host_mod") == pytest.approx(4 * t1.get("host_mod"))
+
+    def test_analytic_run_touches_no_memory(self, manager):
+        plan = plan_allreduce(manager, "11", 1 << 20, 0, 1 << 20, INT64, SUM)
+        plan.estimate(manager.system)
+        assert manager.system.touched_pes == 0
+
+
+class TestPlanExecuteConsistency:
+    """Executing a plan accrues exactly what estimating predicts, and
+    estimates are deterministic."""
+
+    def test_estimate_deterministic(self, manager):
+        plan = plan_alltoall(manager, "11", 64 * KB, 0, 64 * KB, INT64)
+        a = plan.estimate(manager.system)
+        b = plan.estimate(manager.system)
+        assert a.seconds == b.seconds
+
+    @pytest.mark.parametrize("config", ABLATION_LADDER,
+                             ids=[c.label for c in ABLATION_LADDER])
+    def test_run_returns_same_ledger_as_estimate(self, config):
+        system = DimmSystem.small(mram_bytes=1 << 14)
+        manager = HypercubeManager(system, shape=(4, 8))
+        src = system.alloc(4 * 64)
+        dst = system.alloc(4 * 64)
+        plan = plan_alltoall(manager, "10", 4 * 64, src, dst, INT64, config)
+        estimated = plan.estimate(system)
+        ledger, _ = plan.run(system, functional=True)
+        assert ledger.seconds == estimated.seconds
+
+
+class TestPlanIntrospection:
+    def test_meta_fields(self, manager):
+        plan = plan_alltoall(manager, "10", 64 * KB, 0, 0, INT64)
+        assert plan.meta["primitive"] == "alltoall"
+        assert plan.meta["instances"] == 32
+        assert plan.meta["group_size"] == 32
+        assert plan.meta["config"] == "+CM"
+
+    def test_describe_lists_steps(self, manager):
+        plan = plan_allreduce(manager, "11", 64 * KB, 0, 0, INT64, SUM)
+        text = plan.describe()
+        assert "ReduceExchange" in text
+        assert "FanoutFromHost" in text
+        assert "PeReorder" in text
+
+    def test_baseline_plan_uses_global_exchange(self, manager):
+        plan = plan_alltoall(manager, "11", 64 * KB, 0, 0, INT64, BASELINE)
+        assert "HostGlobalExchange" in plan.describe()
+        assert "PeReorder" not in plan.describe()
+
+    def test_config_validation(self):
+        from repro.core.collectives.config import OptConfig
+        with pytest.raises(CollectiveError):
+            OptConfig(pe_reorder=False, in_register=True, cross_domain=False)
+        with pytest.raises(CollectiveError):
+            OptConfig(pe_reorder=True, in_register=False, cross_domain=True)
+
+    def test_labels(self):
+        assert BASELINE.label == "Baseline"
+        assert PR_ONLY.label == "+PR"
+        assert PR_IM.label == "+IM"
+        assert FULL.label == "+CM"

@@ -1,0 +1,51 @@
+"""Documentation hygiene: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        yield name, obj
+
+
+def _all_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in SKIP_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in _all_modules() if not m.__doc__]
+    assert not missing, missing
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _all_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+            if inspect.isclass(obj):
+                for meth_name, meth in vars(obj).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(meth):
+                        continue
+                    if not inspect.getdoc(meth):
+                        missing.append(
+                            f"{module.__name__}.{name}.{meth_name}")
+    assert not missing, f"{len(missing)} undocumented: {missing[:20]}"

@@ -1,0 +1,88 @@
+"""Unit tests for PIM-domain striping and domain transfer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransferError
+from repro.hw import domain
+
+
+class TestDomainTransfer:
+    def test_word_bytes_stripe_across_lanes(self):
+        # Two 4-byte words over 4 lanes: lane l must hold byte l of each.
+        host = np.arange(8, dtype=np.uint8)
+        mat = domain.host_to_pim(host, lanes=4)
+        assert mat.shape == (4, 2)
+        # word 0 = bytes 0..3, word 1 = bytes 4..7
+        assert mat[:, 0].tolist() == [0, 1, 2, 3]
+        assert mat[:, 1].tolist() == [4, 5, 6, 7]
+
+    def test_roundtrip_is_identity(self):
+        rng = np.random.default_rng(1)
+        host = rng.integers(0, 256, 64 * 9, dtype=np.uint8)
+        assert np.array_equal(
+            domain.pim_to_host(domain.host_to_pim(host, 8)), host)
+
+    def test_roundtrip_other_direction(self):
+        rng = np.random.default_rng(2)
+        mat = rng.integers(0, 256, (8, 24), dtype=np.uint8)
+        assert np.array_equal(
+            domain.host_to_pim(domain.pim_to_host(mat), 8), mat)
+
+    def test_size_must_be_lane_multiple(self):
+        with pytest.raises(TransferError, match="not a multiple"):
+            domain.host_to_pim(np.zeros(10, dtype=np.uint8), 8)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TransferError):
+            domain.host_to_pim(np.zeros(8, dtype=np.int32), 8)
+        with pytest.raises(TransferError):
+            domain.pim_to_host(np.zeros((2, 2), dtype=np.float64))
+
+
+class TestLaneViews:
+    def test_words_from_lanes_sees_pe_elements(self):
+        # Each lane holds its own elements contiguously.
+        mat = np.arange(16, dtype=np.uint8).reshape(2, 8)
+        words = domain.words_from_lanes(mat, np.dtype("<u4"))
+        assert words.shape == (2, 2)
+        assert np.array_equal(
+            words[0], mat[0].view(np.uint32))
+
+    def test_words_roundtrip(self):
+        rng = np.random.default_rng(3)
+        mat = rng.integers(0, 256, (4, 16), dtype=np.uint8)
+        words = domain.words_from_lanes(mat, np.dtype(np.int64))
+        assert np.array_equal(domain.lanes_from_words(words), mat)
+
+    def test_misaligned_lane_rejected(self):
+        with pytest.raises(TransferError, match="not a multiple"):
+            domain.words_from_lanes(np.zeros((2, 6), dtype=np.uint8),
+                                    np.dtype(np.int64))
+
+
+class TestLanePermutations:
+    def test_rotate_moves_lane_down(self):
+        mat = np.arange(12, dtype=np.uint8).reshape(4, 3)
+        rolled = domain.rotate_lanes(mat, 1)
+        # lane l content moves to lane l+1
+        assert np.array_equal(rolled[1], mat[0])
+        assert np.array_equal(rolled[0], mat[3])
+
+    def test_rotate_full_cycle_is_identity(self):
+        mat = np.arange(12, dtype=np.uint8).reshape(4, 3)
+        assert np.array_equal(domain.rotate_lanes(mat, 4), mat)
+
+    def test_permute_lanes(self):
+        mat = np.arange(8, dtype=np.uint8).reshape(4, 2)
+        perm = np.array([2, 0, 3, 1])
+        out = domain.permute_lanes(mat, perm)
+        for l in range(4):
+            assert np.array_equal(out[l], mat[perm[l]])
+
+    def test_permute_rejects_non_permutation(self):
+        mat = np.zeros((4, 2), dtype=np.uint8)
+        with pytest.raises(TransferError, match="not a permutation"):
+            domain.permute_lanes(mat, np.array([0, 0, 1, 2]))
+        with pytest.raises(TransferError, match="does not match"):
+            domain.permute_lanes(mat, np.array([0, 1, 2]))

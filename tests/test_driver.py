@@ -1,0 +1,117 @@
+"""Tests for the UPMEM-SDK-style driver surface."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INT64
+from repro.errors import AllocationError, TransferError
+from repro.hw.driver import XFER_FROM_DPU, XFER_TO_DPU, DpuDriver
+from repro.hw.system import DimmSystem
+
+
+@pytest.fixture
+def driver():
+    return DpuDriver(DimmSystem.small(mram_bytes=1 << 16))
+
+
+class TestAllocation:
+    def test_rank_granularity(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        # The small system has 16 PEs per rank (4 chips x 4 banks).
+        assert dpu_set.nr_dpus == 16
+        assert dpu_set.pe_ids == tuple(range(16))
+
+    def test_disjoint_allocations(self, driver):
+        a = driver.alloc_ranks(1)
+        b = driver.alloc_ranks(1)
+        assert not set(a.pe_ids) & set(b.pe_ids)
+
+    def test_exhaustion(self, driver):
+        driver.alloc_ranks(2)  # the small system has 2 ranks total
+        with pytest.raises(AllocationError, match="free"):
+            driver.alloc_ranks(1)
+
+    def test_free_recycles(self, driver):
+        a = driver.alloc_ranks(2)
+        driver.free(a)
+        b = driver.alloc_ranks(2)
+        assert b.rank_ids == a.rank_ids
+
+    def test_iteration(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        assert list(dpu_set) == list(dpu_set.pe_ids)
+
+
+class TestTransfers:
+    def test_copy_roundtrip(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        data = np.arange(16, dtype=np.int64)
+        seconds = driver.copy_to(dpu_set, 3, 64, data)
+        assert seconds > 0
+        back = driver.copy_from(dpu_set, 3, 64, 128)
+        np.testing.assert_array_equal(back.view(np.int64), data)
+
+    def test_push_xfer_roundtrip(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        buffers = [np.full(4, i, dtype=np.int64)
+                   for i in range(dpu_set.nr_dpus)]
+        driver.push_xfer(dpu_set, XFER_TO_DPU, 0, buffers=buffers)
+        out = driver.push_xfer(dpu_set, XFER_FROM_DPU, 0, nbytes=32)
+        for i, buf in enumerate(out):
+            np.testing.assert_array_equal(buf.view(np.int64),
+                                          buffers[i])
+
+    def test_push_xfer_validation(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        with pytest.raises(TransferError, match="one buffer per DPU"):
+            driver.push_xfer(dpu_set, XFER_TO_DPU, 0, buffers=[])
+        with pytest.raises(TransferError, match="equal-sized"):
+            driver.push_xfer(dpu_set, XFER_TO_DPU, 0, buffers=(
+                [np.zeros(2, dtype=np.int64)]
+                + [np.zeros(4, dtype=np.int64)] * 15))
+        with pytest.raises(TransferError, match="nbytes"):
+            driver.push_xfer(dpu_set, XFER_FROM_DPU, 0)
+        with pytest.raises(TransferError, match="direction"):
+            driver.push_xfer(dpu_set, "sideways", 0, nbytes=8)
+
+    def test_disabling_domain_transfer_skips_dt_cost(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        buffers = [np.zeros(8, dtype=np.int64)] * dpu_set.nr_dpus
+        driver.push_xfer(dpu_set, XFER_TO_DPU, 0, buffers=buffers,
+                         domain_transfer=False)
+        assert driver.ledger.get("dt") == 0.0
+        assert driver.ledger.get("bus") > 0.0
+        driver.push_xfer(dpu_set, XFER_TO_DPU, 0, buffers=buffers,
+                         domain_transfer=True)
+        assert driver.ledger.get("dt") > 0.0
+
+    def test_broadcast_single_dt(self, driver):
+        dpu_set = driver.alloc_ranks(2)
+        payload = np.arange(8, dtype=np.int64)
+        driver.broadcast_to(dpu_set, 128, payload)
+        for pe in dpu_set.pe_ids:
+            np.testing.assert_array_equal(
+                driver.system.read_elements(pe, 128, 8, INT64), payload)
+        # One DT for the whole broadcast, not one per PE.
+        per_pe_dt = driver.system.params.dt_time(64)
+        assert driver.ledger.get("dt") == pytest.approx(per_pe_dt)
+
+
+class TestLaunch:
+    def test_kernel_runs_per_dpu(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        seen = []
+
+        def kernel(pe, system):
+            seen.append(pe)
+            system.memory(pe).write(0, np.array([pe % 256], dtype=np.uint8))
+
+        driver.launch(dpu_set, kernel)
+        assert seen == list(dpu_set.pe_ids)
+        assert driver.system.memory(5).read(0, 1)[0] == 5
+
+    def test_launch_charges_overhead(self, driver):
+        dpu_set = driver.alloc_ranks(1)
+        driver.launch(dpu_set)
+        assert driver.ledger.get("launch") == pytest.approx(
+            driver.system.params.kernel_launch_s)

@@ -1,0 +1,227 @@
+"""Tests for the multi-host extension (MPI sim + hierarchical collectives)."""
+
+import numpy as np
+import pytest
+
+from repro.core import reference as ref
+from repro.dtypes import INT64, MIN, SUM
+from repro.errors import CollectiveError
+from repro.hw.timing import MachineParams
+from repro.multihost import (
+    MpiSimulator,
+    MultiHostSystem,
+    multihost_allreduce,
+    multihost_alltoall,
+)
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+class TestMpiSimulator:
+    def test_single_host_is_free(self, params):
+        mpi = MpiSimulator(params, 1)
+        assert mpi.allreduce_seconds(1 << 20) == 0.0
+        assert mpi.alltoall_seconds(1 << 20) == 0.0
+
+    def test_cost_grows_with_hosts(self, params):
+        sizes = [MpiSimulator(params, n).alltoall_seconds(1 << 20)
+                 for n in (2, 3, 4)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_ring_factor(self, params):
+        # (N-1)/N volume: 2 hosts move half, 4 hosts 3/4.
+        two = MpiSimulator(params, 2)
+        four = MpiSimulator(params, 4)
+        vol2 = two.alltoall_seconds(1e9) - params.mpi_latency_s * 1
+        vol4 = four.alltoall_seconds(1e9) - params.mpi_latency_s * 3
+        assert vol4 / vol2 == pytest.approx(1.5)
+
+    def test_allreduce_functional(self, params):
+        mpi = MpiSimulator(params, 3)
+        rng = np.random.default_rng(0)
+        bufs = [rng.integers(0, 100, 8) for _ in range(3)]
+        out = mpi.allreduce(bufs, SUM)
+        expect = np.stack(bufs).sum(axis=0)
+        assert all(np.array_equal(o, expect) for o in out)
+
+    def test_alltoall_functional(self, params):
+        mpi = MpiSimulator(params, 2)
+        bufs = [np.arange(4), np.arange(4) + 10]
+        out = mpi.alltoall(bufs)
+        assert out[0].tolist() == [0, 1, 10, 11]
+        assert out[1].tolist() == [2, 3, 12, 13]
+
+    def test_validation(self, params):
+        with pytest.raises(CollectiveError):
+            MpiSimulator(params, 0)
+        mpi = MpiSimulator(params, 2)
+        with pytest.raises(CollectiveError):
+            mpi.allreduce([np.arange(3)], SUM)
+
+
+def small_multihost(num_hosts, ranks=1):
+    # 1 channel x 1 rank x 8 chips x 8 banks = 64 PEs per host.
+    return MultiHostSystem(num_hosts, ranks_per_channel=ranks,
+                           mram_bytes=1 << 16)
+
+
+class TestHierarchicalAllReduce:
+    @pytest.mark.parametrize("num_hosts", [1, 2, 3])
+    @pytest.mark.parametrize("op", [SUM, MIN], ids=str)
+    def test_matches_global_reference(self, num_hosts, op):
+        mh = small_multihost(num_hosts)
+        rng = np.random.default_rng(1)
+        p = mh.pes_per_host
+        elems = p  # divisible into p chunks on each host
+        buf = mh.alloc(elems * 8)
+        out = mh.alloc(elems * 8)
+        inputs = [rng.integers(-100, 100, elems)
+                  for _ in range(mh.total_pes)]
+        for gpe, values in enumerate(inputs):
+            mh.write_pe(gpe, buf, values, INT64)
+        result = multihost_allreduce(mh, elems * 8, buf, out, INT64, op)
+        expect = ref.allreduce(inputs, op)[0]
+        for host_out in result.outputs:
+            for vec in host_out:
+                np.testing.assert_array_equal(vec, expect)
+
+    def test_mpi_share_small_for_allreduce(self):
+        """The network carries 1/P of the data (reduced first)."""
+        mh = small_multihost(2)
+        size = 1 << 20
+        result = multihost_allreduce(mh, size, 0, 0, functional=False)
+        # Crossing bytes ~ size; local bus bytes ~ size * pes.
+        assert result.mpi_seconds < result.ledger.total
+
+
+class TestHierarchicalAlltoAll:
+    @pytest.mark.parametrize("num_hosts", [1, 2, 4])
+    def test_matches_global_reference(self, num_hosts):
+        mh = small_multihost(num_hosts)
+        rng = np.random.default_rng(2)
+        total_pes = mh.total_pes
+        chunk_elems = 1
+        elems = total_pes * chunk_elems
+        buf = mh.alloc(elems * 8)
+        out = mh.alloc(elems * 8)
+        inputs = [rng.integers(0, 1000, elems) for _ in range(total_pes)]
+        for gpe, values in enumerate(inputs):
+            mh.write_pe(gpe, buf, values, INT64)
+        result = multihost_alltoall(mh, elems * 8, buf, out, INT64)
+        expect = ref.alltoall(inputs)
+        flat = [vec for host_out in result.outputs for vec in host_out]
+        for got, want in zip(flat, expect):
+            np.testing.assert_array_equal(got, want)
+
+    def test_alltoall_overhead_grows_with_hosts(self):
+        """Figure 23b: more hosts -> more data crossing the wire."""
+        times = []
+        for hosts in (2, 3, 4):
+            mh = small_multihost(hosts)
+            # 3 KiB chunks per global destination keep sizes divisible
+            # for every host count.
+            size = hosts * mh.pes_per_host * 3072
+            result = multihost_alltoall(mh, size, 0, 0, functional=False)
+            # Normalize: MPI seconds per payload byte must still grow,
+            # because (N-1)/N grows with N.
+            times.append(result.mpi_seconds / size)
+        assert times[0] < times[1] < times[2]
+
+    def test_alltoall_mpi_dominates_allreduce_mpi(self):
+        """Figure 23b's asymmetry: AlltoAll pays much more MPI time
+        (2 MB per PE, the paper's configuration)."""
+        mh = small_multihost(4)
+        size = 2 << 20
+        aa = multihost_alltoall(mh, size, 0, 0, functional=False)
+        ar = multihost_allreduce(mh, size, 0, 0, functional=False)
+        assert aa.mpi_seconds > 10 * ar.mpi_seconds
+
+    def test_indivisible_rejected(self):
+        mh = small_multihost(2)
+        with pytest.raises(CollectiveError, match="split"):
+            multihost_alltoall(mh, 8, 0, 0, functional=False)
+
+
+class TestMultiHostSystem:
+    def test_global_pe_addressing(self):
+        mh = small_multihost(2)
+        buf = mh.alloc(16)
+        mh.write_pe(70, buf, np.array([1, 2]), INT64)
+        # Global PE 70 = host 1, local PE 6.
+        got = mh.systems[1].read_elements(6, buf, 2, INT64)
+        assert got.tolist() == [1, 2]
+        assert np.array_equal(mh.read_pe(70, buf, 2, INT64), got)
+
+    def test_symmetric_alloc(self):
+        mh = small_multihost(3)
+        a = mh.alloc(32)
+        b = mh.alloc(32)
+        assert a == 0 and b == 32
+
+    def test_validation(self):
+        with pytest.raises(CollectiveError):
+            MultiHostSystem(0)
+
+
+class TestHierarchicalReduceScatter:
+    @pytest.mark.parametrize("num_hosts", [1, 2, 4])
+    @pytest.mark.parametrize("op", [SUM, MIN], ids=str)
+    def test_matches_global_reference(self, num_hosts, op):
+        from repro.multihost import multihost_reduce_scatter
+        mh = small_multihost(num_hosts)
+        rng = np.random.default_rng(4)
+        tp = mh.total_pes
+        elems = tp * 2
+        buf = mh.alloc(elems * 8)
+        out = mh.alloc(16)
+        inputs = [rng.integers(-50, 50, elems) for _ in range(tp)]
+        for gpe, values in enumerate(inputs):
+            mh.write_pe(gpe, buf, values, INT64)
+        multihost_reduce_scatter(mh, elems * 8, buf, out, INT64, op)
+        expect = ref.reduce_scatter(inputs, op)
+        for gpe in range(tp):
+            np.testing.assert_array_equal(
+                mh.read_pe(gpe, out, 2, INT64), expect[gpe])
+
+    def test_mpi_volume_matches_post_reduction(self):
+        """The wire carries the reduced vector once, not per PE."""
+        from repro.multihost import multihost_reduce_scatter
+        mh = small_multihost(2)
+        tp = mh.total_pes
+        size = tp * 64
+        result = multihost_reduce_scatter(mh, size, 0, 0, functional=False)
+        # (N-1)/N * size at 1.25 GB/s plus one latency.
+        expected = size * 0.5 / 1.25e9 + mh.params.mpi_latency_s
+        assert result.mpi_seconds == pytest.approx(expected)
+
+
+class TestHierarchicalAllGather:
+    @pytest.mark.parametrize("num_hosts", [1, 2, 3])
+    def test_matches_global_reference(self, num_hosts):
+        from repro.multihost import multihost_allgather
+        mh = small_multihost(num_hosts)
+        rng = np.random.default_rng(5)
+        tp = mh.total_pes
+        buf = mh.alloc(16)
+        out = mh.alloc(tp * 16)
+        inputs = [rng.integers(0, 100, 2) for _ in range(tp)]
+        for gpe, values in enumerate(inputs):
+            mh.write_pe(gpe, buf, values, INT64)
+        multihost_allgather(mh, 16, buf, out, INT64)
+        expect = ref.allgather(inputs)[0]
+        for gpe in range(tp):
+            np.testing.assert_array_equal(
+                mh.read_pe(gpe, out, tp * 2, INT64), expect)
+
+    def test_data_crosses_before_duplication(self):
+        """Section IX-A: AllGather ships each host's share once."""
+        from repro.multihost import multihost_allgather
+        mh = small_multihost(4)
+        chunk = 1 << 12
+        result = multihost_allgather(mh, chunk, 0, 0, functional=False)
+        per_host = mh.pes_per_host * chunk
+        expected = 0.75 * per_host * 4 / 1.25e9 + 3 * mh.params.mpi_latency_s
+        assert result.mpi_seconds == pytest.approx(expected)

@@ -1,0 +1,110 @@
+"""Tests for WRAM-staged PE-side data movement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TransferError
+from repro.hw.memory import PeMemory
+from repro.hw.pe import WRAM_TILE_BYTES, wram_copy, wram_permute_chunks
+
+
+@pytest.fixture
+def memory():
+    mem = PeMemory(1 << 18)
+    mem.mram[:] = np.arange(mem.mram.size, dtype=np.uint64).astype(np.uint8)
+    return mem
+
+
+class TestWramCopy:
+    def test_simple_copy(self, memory):
+        original = memory.read(0, 100)
+        tiles = wram_copy(memory, 0, 5000, 100)
+        assert tiles == 1
+        assert np.array_equal(memory.read(5000, 100), original)
+
+    def test_large_copy_uses_multiple_tiles(self, memory):
+        nbytes = WRAM_TILE_BYTES * 2 + 17
+        original = memory.read(0, nbytes)
+        tiles = wram_copy(memory, 0, 1 << 17, nbytes)
+        assert tiles == 3
+        assert np.array_equal(memory.read(1 << 17, nbytes), original)
+
+    def test_overlap_forward(self, memory):
+        original = memory.read(0, 1000)
+        wram_copy(memory, 0, 100, 1000, tile_bytes=64)
+        assert np.array_equal(memory.read(100, 1000), original)
+
+    def test_overlap_backward(self, memory):
+        original = memory.read(100, 1000)
+        wram_copy(memory, 100, 0, 1000, tile_bytes=64)
+        assert np.array_equal(memory.read(0, 1000), original)
+
+    def test_zero_bytes(self, memory):
+        assert wram_copy(memory, 0, 10, 0) == 0
+
+    def test_tile_must_fit_wram(self, memory):
+        with pytest.raises(TransferError, match="WRAM"):
+            wram_copy(memory, 0, 10, 8, tile_bytes=memory.wram.size + 1)
+
+    def test_negative_rejected(self, memory):
+        with pytest.raises(TransferError):
+            wram_copy(memory, 0, 10, -1)
+
+
+class TestWramPermute:
+    def test_out_of_place(self, memory):
+        chunk = 32
+        perm = np.array([2, 0, 3, 1])
+        old = [memory.read(i * chunk, chunk) for i in range(4)]
+        wram_permute_chunks(memory, 0, 4096, chunk, perm)
+        for i in range(4):
+            assert np.array_equal(memory.read(4096 + i * chunk, chunk),
+                                  old[perm[i]])
+
+    def test_in_place_rotation(self, memory):
+        chunk = 64
+        perm = (np.arange(8) + 3) % 8
+        old = [memory.read(i * chunk, chunk) for i in range(8)]
+        wram_permute_chunks(memory, 0, 0, chunk, perm)
+        for i in range(8):
+            assert np.array_equal(memory.read(i * chunk, chunk),
+                                  old[perm[i]])
+
+    def test_in_place_with_fixed_points(self, memory):
+        chunk = 16
+        perm = np.array([0, 2, 1, 3])  # swap middle two
+        old = [memory.read(i * chunk, chunk) for i in range(4)]
+        wram_permute_chunks(memory, 0, 0, chunk, perm)
+        for i in range(4):
+            assert np.array_equal(memory.read(i * chunk, chunk),
+                                  old[perm[i]])
+
+    def test_oversized_chunks_still_correct(self, memory):
+        chunk = WRAM_TILE_BYTES + 100
+        perm = np.array([1, 0])
+        old = [memory.read(i * chunk, chunk) for i in range(2)]
+        wram_permute_chunks(memory, 0, 0, chunk, perm)
+        assert np.array_equal(memory.read(0, chunk), old[1])
+        assert np.array_equal(memory.read(chunk, chunk), old[0])
+
+    def test_partial_overlap_rejected(self, memory):
+        with pytest.raises(TransferError, match="overlapping"):
+            wram_permute_chunks(memory, 0, 16, 32, np.array([1, 0]))
+
+    def test_non_permutation_rejected(self, memory):
+        with pytest.raises(TransferError, match="not a permutation"):
+            wram_permute_chunks(memory, 0, 0, 8, np.array([0, 0]))
+
+    @given(st.integers(1, 16), st.integers(0, 2**31), st.integers(1, 96))
+    @settings(max_examples=30, deadline=None)
+    def test_random_permutations_in_place(self, nslots, seed, chunk):
+        rng = np.random.default_rng(seed)
+        mem = PeMemory(1 << 14)
+        mem.mram[:nslots * chunk] = rng.integers(
+            0, 256, nslots * chunk, dtype=np.uint8)
+        perm = rng.permutation(nslots)
+        old = [mem.read(i * chunk, chunk) for i in range(nslots)]
+        wram_permute_chunks(mem, 0, 0, chunk, perm, tile_bytes=32)
+        for i in range(nslots):
+            assert np.array_equal(mem.read(i * chunk, chunk), old[perm[i]])

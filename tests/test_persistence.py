@@ -1,0 +1,94 @@
+"""Tests for experiment result persistence and drift comparison."""
+
+import json
+
+import pytest
+
+from repro.analysis.persistence import (
+    compare_results,
+    export_all,
+    load_results,
+    save_results,
+)
+from repro.errors import PidCommError
+
+
+ROWS = [{"primitive": "alltoall", "speedup": 5.5, "note": "x"},
+        {"primitive": "broadcast", "speedup": 1.0, "note": "y"}]
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = save_results(tmp_path / "r.json", "fig14", ROWS)
+        payload = load_results(path)
+        assert payload["experiment"] == "fig14"
+        assert payload["rows"] == ROWS
+        assert "machine_params" in payload
+        assert payload["machine_params"]["host_cores"] == 10
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "rows": []}))
+        with pytest.raises(PidCommError, match="schema"):
+            load_results(path)
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(PidCommError, match="malformed"):
+            load_results(path)
+
+
+class TestCompare:
+    def _payload(self, rows):
+        return {"schema": 1, "experiment": "fig14", "rows": rows}
+
+    def test_identical_runs_have_no_drift(self):
+        assert compare_results(self._payload(ROWS),
+                               self._payload(ROWS)) == []
+
+    def test_detects_numeric_drift(self):
+        changed = [dict(ROWS[0], speedup=6.5), ROWS[1]]
+        drifts = compare_results(self._payload(ROWS),
+                                 self._payload(changed))
+        assert len(drifts) == 1
+        assert drifts[0]["column"] == "speedup"
+        assert drifts[0]["drift"] == pytest.approx(1.0 / 5.5, rel=1e-3)
+
+    def test_tolerance_respected(self):
+        changed = [dict(ROWS[0], speedup=5.51), ROWS[1]]
+        assert compare_results(self._payload(ROWS),
+                               self._payload(changed),
+                               rel_tol=0.05) == []
+
+    def test_missing_column_flagged(self):
+        changed = [{"primitive": "alltoall", "note": "x"}, ROWS[1]]
+        drifts = compare_results(self._payload(ROWS),
+                                 self._payload(changed))
+        assert any(d["new"] is None for d in drifts)
+
+    def test_row_count_mismatch_flagged(self):
+        drifts = compare_results(self._payload(ROWS),
+                                 self._payload(ROWS[:1]))
+        assert any(d["column"] == "(row count)" for d in drifts)
+
+    def test_different_experiments_rejected(self):
+        other = {"schema": 1, "experiment": "fig15", "rows": []}
+        with pytest.raises(PidCommError, match="different experiments"):
+            compare_results(self._payload(ROWS), other)
+
+    def test_ignores_strings_and_bools(self):
+        a = [{"ok": True, "name": "x", "value": 1.0}]
+        b = [{"ok": False, "name": "y", "value": 1.0}]
+        assert compare_results(
+            {"schema": 1, "experiment": "e", "rows": a},
+            {"schema": 1, "experiment": "e", "rows": b}) == []
+
+
+class TestExportAll:
+    def test_selected_export(self, tmp_path):
+        written = export_all(tmp_path, names=["table1"])
+        assert len(written) == 1
+        payload = load_results(written[0])
+        assert payload["experiment"] == "table1"
+        assert len(payload["rows"]) == 3

@@ -1,0 +1,108 @@
+"""Unit tests for the golden collective semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import reference as ref
+from repro.dtypes import MAX, MIN, SUM
+from repro.errors import CollectiveError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestAlltoAll:
+    def test_four_nodes(self):
+        inputs = [np.arange(4) + 10 * i for i in range(4)]
+        out = ref.alltoall(inputs)
+        # out[i][j] = inputs[j][i]
+        for i in range(4):
+            assert out[i].tolist() == [inputs[j][i] for j in range(4)]
+
+    def test_transpose_identity(self, rng):
+        inputs = [rng.integers(0, 100, 12) for _ in range(4)]
+        twice = ref.alltoall(ref.alltoall(inputs))
+        for a, b in zip(twice, inputs):
+            assert np.array_equal(a, b)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(CollectiveError):
+            ref.alltoall([np.arange(5), np.arange(5)])
+
+
+class TestAllGather:
+    def test_concatenation(self):
+        inputs = [np.array([i, i]) for i in range(3)]
+        out = ref.allgather(inputs)
+        assert all(o.tolist() == [0, 0, 1, 1, 2, 2] for o in out)
+
+
+class TestReduceScatter:
+    def test_sum(self):
+        inputs = [np.arange(6, dtype=np.int64) for _ in range(3)]
+        out = ref.reduce_scatter(inputs, SUM)
+        assert out[0].tolist() == [0, 3]
+        assert out[2].tolist() == [12, 15]
+
+    def test_min_max(self, rng):
+        inputs = [rng.integers(-100, 100, 8) for _ in range(4)]
+        mn = ref.reduce_scatter(inputs, MIN)
+        mx = ref.reduce_scatter(inputs, MAX)
+        stacked = np.stack(inputs).reshape(4, 4, 2)
+        for i in range(4):
+            assert np.array_equal(mn[i], stacked[:, i].min(axis=0))
+            assert np.array_equal(mx[i], stacked[:, i].max(axis=0))
+
+
+class TestAllReduce:
+    def test_sum(self, rng):
+        inputs = [rng.integers(0, 10, 5) for _ in range(6)]
+        out = ref.allreduce(inputs, SUM)
+        expect = np.stack(inputs).sum(axis=0)
+        assert all(np.array_equal(o, expect) for o in out)
+
+    def test_rs_plus_ag_equals_ar(self, rng):
+        inputs = [rng.integers(0, 10, 8) for _ in range(4)]
+        rs = ref.reduce_scatter(inputs, SUM)
+        ag = ref.allgather(rs)
+        ar = ref.allreduce(inputs, SUM)
+        for a, b in zip(ag, ar):
+            assert np.array_equal(a, b)
+
+
+class TestRooted:
+    def test_scatter_gather_roundtrip(self, rng):
+        root = rng.integers(0, 100, 12)
+        chunks = ref.scatter(root, 4)
+        assert np.array_equal(ref.gather(chunks), root)
+
+    def test_scatter_indivisible(self):
+        with pytest.raises(CollectiveError):
+            ref.scatter(np.arange(10), 4)
+
+    def test_reduce(self, rng):
+        inputs = [rng.integers(0, 10, 6) for _ in range(5)]
+        assert np.array_equal(ref.reduce(inputs, SUM),
+                              np.stack(inputs).sum(axis=0))
+
+    def test_broadcast(self):
+        out = ref.broadcast(np.arange(3), 4)
+        assert len(out) == 4
+        assert all(o.tolist() == [0, 1, 2] for o in out)
+        # Copies, not aliases.
+        out[0][0] = 99
+        assert out[1][0] == 0
+
+
+class TestValidation:
+    def test_mismatched_shapes(self):
+        with pytest.raises(CollectiveError, match="equal-shape"):
+            ref.allgather([np.arange(3), np.arange(4)])
+
+    def test_empty_inputs(self):
+        with pytest.raises(CollectiveError):
+            ref.alltoall([])
+        with pytest.raises(CollectiveError):
+            ref.broadcast(np.arange(3), 0)

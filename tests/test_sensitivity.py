@@ -1,0 +1,46 @@
+"""Tests for the calibration sensitivity (tornado) analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    TUNABLE_FIELDS,
+    parameter_sensitivity,
+)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # A small payload keeps the sweep fast; ratios are size-stable.
+        return parameter_sensitivity(payload=1 << 20)
+
+    def test_one_row_per_parameter(self, rows):
+        assert {r["parameter"] for r in rows} == set(TUNABLE_FIELDS)
+
+    def test_sorted_by_swing(self, rows):
+        swings = [r["swing"] for r in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_bus_is_the_dominant_lever(self, rows):
+        """The headline is bus-bound on the PID side, so the bus rate
+        must top the tornado."""
+        assert rows[0]["parameter"] == "bus_gbps_per_channel"
+
+    def test_unused_paths_have_zero_swing(self, rows):
+        """Parameters exercised by neither flow (e.g. the SIMD word
+        shifts that cross-domain modulation fuses away) cannot move the
+        headline at all."""
+        by = {r["parameter"]: r["swing"] for r in rows}
+        assert by["mod_simd_gbps_per_core"] == 0.0
+        assert by["reduce_simd_gbps_per_core"] == 0.0
+
+    def test_faster_bus_helps_pidcomm_more(self, rows):
+        by = {r["parameter"]: r for r in rows}
+        bus = by["bus_gbps_per_channel"]
+        # PID-Comm is bus-bound, the baseline host-bound: a faster bus
+        # widens the gap and a slower one narrows it.
+        assert bus["scaled_up_x"] > bus["baseline_x"] > bus["scaled_down_x"]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            parameter_sensitivity(field_names=["warp_speed"])

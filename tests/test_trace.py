@@ -1,0 +1,62 @@
+"""Tests for the plan-trace rendering."""
+
+import pytest
+
+from repro.analysis.trace import (
+    dominant_category,
+    render_categories,
+    render_timeline,
+    trace_plan,
+)
+from repro.core.collectives import BASELINE, FULL, plan_allreduce, plan_alltoall
+from repro.core.hypercube import HypercubeManager
+from repro.dtypes import INT64, SUM
+from repro.hw.system import DimmSystem
+
+
+@pytest.fixture
+def setup():
+    system = DimmSystem.paper_testbed()
+    manager = HypercubeManager(system, shape=(32, 32))
+    return system, manager
+
+
+class TestTracePlan:
+    def test_step_costs_sum_to_plan_estimate(self, setup):
+        system, manager = setup
+        plan = plan_allreduce(manager, "10", 8 << 20, 0, 0, INT64, SUM, FULL)
+        traces = trace_plan(plan, system)
+        assert len(traces) == len(plan.steps)
+        total = sum(t.seconds for t in traces)
+        assert total == pytest.approx(plan.estimate(system).total)
+
+    def test_exchange_dominates_allreduce(self, setup):
+        system, manager = setup
+        plan = plan_allreduce(manager, "10", 8 << 20, 0, 0, INT64, SUM, FULL)
+        heaviest = max(trace_plan(plan, system), key=lambda t: t.seconds)
+        assert "ReduceExchange" in heaviest.label
+
+
+class TestRendering:
+    def test_timeline_lists_every_step(self, setup):
+        system, manager = setup
+        plan = plan_alltoall(manager, "10", 1 << 20, 0, 0, INT64, FULL)
+        text = render_timeline(plan, system)
+        assert "RotateExchange" in text
+        assert text.count("\n") == len(plan.steps)
+        assert "ms" in text
+
+    def test_categories_show_shares(self, setup):
+        system, manager = setup
+        plan = plan_alltoall(manager, "10", 1 << 20, 0, 0, INT64, FULL)
+        text = render_categories(plan, system)
+        assert "bus" in text and "%" in text and "#" in text
+
+    def test_dominant_category_shifts_with_config(self, setup):
+        system, manager = setup
+        size = 8 << 20
+        fast = plan_alltoall(manager, "10", size, 0, 0, INT64, FULL)
+        slow = plan_alltoall(manager, "10", size, 0, 0, INT64, BASELINE)
+        # Optimized AlltoAll is bus-bound; the baseline is host-bound.
+        assert dominant_category(fast, system) == "bus"
+        assert dominant_category(slow, system) in ("host_mem", "host_mod")

@@ -1,0 +1,79 @@
+"""Print modelled headline ratios vs paper targets for calibration."""
+import numpy as np
+from repro import FULL, HypercubeManager
+from repro.core.collectives import (plan_alltoall, plan_allgather,
+    plan_reduce_scatter, plan_allreduce, plan_gather, plan_scatter,
+    plan_reduce, plan_broadcast, ABLATION_LADDER)
+from repro.baselines import baseline_plan, ring_allreduce_plan, tree_allreduce_plan
+from repro.dtypes import INT64, SUM
+from repro.hw.system import DimmSystem
+from repro.hw.timing import throughput_gbps
+
+MB = 1 << 20
+system = DimmSystem.paper_testbed()
+man = HypercubeManager(system, shape=(32, 32))
+S = 8 * MB
+
+def pid(prim, size=S, dims="10"):
+    if prim == "alltoall": return plan_alltoall(man, dims, size, 0, 0, INT64)
+    if prim == "allgather": return plan_allgather(man, dims, size // 32, 0, 0, INT64)
+    if prim == "reduce_scatter": return plan_reduce_scatter(man, dims, size, 0, 0, INT64, SUM)
+    if prim == "allreduce": return plan_allreduce(man, dims, size, 0, 0, INT64, SUM)
+    if prim == "gather": return plan_gather(man, dims, size, 0, INT64)
+    if prim == "scatter": return plan_scatter(man, dims, size, 0, INT64)
+    if prim == "reduce": return plan_reduce(man, dims, size, 0, INT64, SUM)
+    if prim == "broadcast": return plan_broadcast(man, dims, size, 0, INT64)
+
+def base(prim, size=S, dims="10"):
+    insz = size // 32 if prim == "allgather" else size
+    return baseline_plan(prim, man, dims, insz, 0, 0, INT64, SUM)
+
+targets = {"alltoall": 5.19, "reduce_scatter": 4.46, "allreduce": 4.23,
+           "allgather": 1.4, "scatter": 2.0, "gather": 2.0, "reduce": 4.0,
+           "broadcast": 1.0}
+print("=== Fig 14: (32,32) dims=10, 8MB/PE ===")
+sps = []
+for prim, tgt in targets.items():
+    tb = base(prim).estimate(system).total
+    tp = pid(prim).estimate(system).total
+    sp = tb / tp
+    sps.append(sp)
+    print(f"{prim:15s} speedup {sp:5.2f}  (target ~{tgt})  base={tb*1e3:8.1f}ms pid={tp*1e3:8.1f}ms")
+print(f"geomean {np.exp(np.mean(np.log(sps))):.2f} (target 2.83)")
+
+print("\n=== Fig 16 ablation (geomean step ratios; targets PR 1.48, +IM 2.03, +CM 1.42) ===")
+prims = ["alltoall", "reduce_scatter", "allreduce", "allgather"]
+ladder_times = {}
+for prim in prims:
+    ts = []
+    for cfg in ABLATION_LADDER:
+        if prim == "alltoall": p = plan_alltoall(man, "10", S, 0, 0, INT64, cfg)
+        elif prim == "allgather": p = plan_allgather(man, "10", S // 32, 0, 0, INT64, cfg)
+        elif prim == "reduce_scatter": p = plan_reduce_scatter(man, "10", S, 0, 0, INT64, SUM, cfg)
+        else: p = plan_allreduce(man, "10", S, 0, 0, INT64, SUM, cfg)
+        ts.append(p.estimate(system).total)
+    ladder_times[prim] = ts
+    print(f"{prim:15s} " + " ".join(f"{t*1e3:8.1f}" for t in ts) +
+          "   steps: " + " ".join(f"{ts[i]/ts[i+1]:.2f}" for i in range(3)))
+for i, lbl in enumerate(["PR", "IM", "CM"]):
+    ratios = [ladder_times[p][i] / ladder_times[p][i+1] for p in prims]
+    print(f"step {lbl}: geomean {np.exp(np.mean(np.log(ratios))):.2f}")
+
+print("\n=== Fig 18: size sweep speedup (AA 2D) ===")
+for size in [128*1024, 512*1024, 2*MB, 8*MB]:
+    tb = base("alltoall", size).estimate(system).total
+    tp = pid("alltoall", size).estimate(system).total
+    print(f"size {size>>10:5d}KB speedup {tb/tp:.2f}")
+
+print("\n=== Fig 23a: topologies (1MB, per-dim groups; targets ring<=2.05x tree<=7.89x slowdown) ===")
+size = 1 * MB
+tp = plan_allreduce(man, "10", size, 0, 0, INT64, SUM).estimate(system).total
+tr = ring_allreduce_plan(man, "10", size, 0, 0, INT64, SUM).estimate(system).total
+tt = tree_allreduce_plan(man, "10", size, 0, 0, INT64, SUM).estimate(system).total
+print(f"pid={tp*1e3:.1f}ms ring={tr/tp:.2f}x tree={tt/tp:.2f}x")
+
+print("\n=== Fig 20-ish: throughputs GB/s (def: larger side / time) ===")
+for prim in ["alltoall", "allreduce", "reduce_scatter", "allgather"]:
+    t = pid(prim).estimate(system).total
+    larger = 1024 * S
+    print(f"{prim:15s} {throughput_gbps(larger, t):6.1f} GB/s")

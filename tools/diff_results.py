@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Compare two saved experiment result files for drift.
+
+Usage:  python tools/diff_results.py OLD.json NEW.json [--tol 0.02]
+
+Exit code 0 when no numeric cell drifted beyond the tolerance, 1
+otherwise (prints the drifting cells).  Use together with
+``python -m repro --json DIR`` to guard cost-model changes.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.persistence import compare_results, load_results
+from repro.analysis.report import render_dict_rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--tol", type=float, default=0.02,
+                        help="relative drift tolerance (default 2%%)")
+    args = parser.parse_args(argv)
+    old = load_results(args.old)
+    new = load_results(args.new)
+    drifts = compare_results(old, new, rel_tol=args.tol)
+    if not drifts:
+        print(f"OK: {old['experiment']} matches within {args.tol:.1%}")
+        return 0
+    print(render_dict_rows(drifts,
+                           f"DRIFT in {old['experiment']} (> {args.tol:.1%})"))
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
