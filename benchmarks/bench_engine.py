@@ -1,13 +1,23 @@
 """Simulator micro-benchmarks: functional collective execution speed.
 
 These are genuine performance benchmarks of the reproduction itself
-(how fast the simulator moves real bytes), useful for tracking
-regressions in the engine.
+(how fast the simulator moves real bytes and how fast the engine
+dispatches plans), useful for tracking regressions in the engine.
+The session benchmarks quantify what the plan cache buys: a steady
+state ``Communicator`` call skips group slicing, validation, and step
+construction entirely.
 """
 
 import numpy as np
 
-from repro import FULL, HypercubeManager, pidcomm_allreduce, pidcomm_alltoall
+from repro import (
+    FULL,
+    CommRequest,
+    Communicator,
+    HypercubeManager,
+    pidcomm_allreduce,
+    pidcomm_alltoall,
+)
 from repro.dtypes import INT64, SUM
 from repro.hw.system import DimmSystem
 
@@ -47,3 +57,34 @@ def test_analytic_plan_estimation_speed(benchmark):
                               SUM).estimate(system).total
 
     benchmark(estimate)
+
+
+def test_cached_session_allreduce_speed(benchmark):
+    """Steady-state Communicator call: plan served from the cache."""
+    manager, total, src, dst = _setup()
+    comm = Communicator(manager)
+    comm.allreduce("10", total, src_offset=src, dst_offset=dst)  # warm
+
+    benchmark(comm.allreduce, "10", total, src_offset=src, dst_offset=dst)
+
+
+def test_analytic_cached_estimation_speed(benchmark):
+    """Cache-hit analytic pricing vs. test_analytic_plan_estimation_speed."""
+    system = DimmSystem.paper_testbed()
+    manager = HypercubeManager(system, shape=(32, 32))
+    comm = Communicator(manager, functional=False)
+    comm.allreduce("10", 8 << 20)  # warm the cache
+
+    benchmark(comm.allreduce, "10", 8 << 20)
+
+
+def test_batch_submit_speed(benchmark):
+    """Dispatch overhead of a 4-request independent batch."""
+    manager, total, src, dst = _setup()
+    system = manager.system
+    comm = Communicator(manager, functional=False)
+    offsets = [(system.alloc(total), system.alloc(total)) for _ in range(4)]
+    requests = [CommRequest("alltoall", "10", total, src_offset=a,
+                            dst_offset=b) for a, b in offsets]
+
+    benchmark(comm.submit, requests)

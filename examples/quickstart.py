@@ -1,9 +1,12 @@
-"""Quickstart: your first PID-Comm collective.
+"""Quickstart: your first PID-Comm collectives, through a session.
 
 Builds a simulated PIM-enabled DIMM system, maps a virtual hypercube
-onto it, runs a multi-instance AllReduce both functionally (real bytes
-through the simulated banks) and analytically (paper-scale cost
-estimate), and shows the optimization-technique ladder.
+onto it, and opens a :class:`Communicator` -- the session API that
+caches compiled plans and schedules whole batches.  Runs a
+multi-instance AllReduce functionally (real bytes through the
+simulated banks), prices the optimization-technique ladder at paper
+scale, and submits a batch of independent AlltoAlls to show the
+overlap-aware pricing.
 
 Run:  python examples/quickstart.py
 """
@@ -12,11 +15,12 @@ import numpy as np
 
 from repro import (
     ABLATION_LADDER,
+    CommRequest,
+    Communicator,
     DimmSystem,
     HypercubeManager,
-    pidcomm_allreduce,
-    pidcomm_alltoall,
 )
+from repro.analysis.trace import render_batch_timeline
 from repro.dtypes import INT64
 
 
@@ -24,6 +28,7 @@ def functional_demo() -> None:
     print("=== Functional demo: 32 PEs, 4x4x2 hypercube ===")
     system = DimmSystem.small(mram_bytes=1 << 16)
     manager = HypercubeManager(system, shape=(4, 4, 2))
+    comm = Communicator(manager)
     print(manager.describe())
 
     elems = 8
@@ -37,12 +42,16 @@ def functional_demo() -> None:
         pe = manager.pe_of_node(node)
         system.write_elements(pe, src, np.full(elems, node), INT64)
 
-    result = pidcomm_allreduce(manager, "010", nbytes, src, dst,
-                               data_type="int64", reduction_type="sum")
+    result = comm.allreduce("010", nbytes, src_offset=src, dst_offset=dst,
+                            data_type="int64", reduction_type="sum")
     pe0 = manager.pe_of_node(0)
     print(f"node 0 received: {system.read_elements(pe0, dst, elems, INT64)}")
     print(f"modelled time  : {result.seconds * 1e6:.1f} us")
     print(f"plan           :\n{result.plan.describe()}")
+
+    # The second identical call is served from the session's plan cache.
+    again = comm.allreduce("010", nbytes, src_offset=src, dst_offset=dst)
+    print(f"repeat call    : {again!r}")
     print()
 
 
@@ -50,17 +59,33 @@ def analytic_demo() -> None:
     print("=== Analytic demo: the paper's 1024-PE testbed, 8 MB/PE ===")
     system = DimmSystem.paper_testbed()
     manager = HypercubeManager(system, shape=(32, 32))
+    comm = Communicator(manager, functional=False)
     payload = 8 << 20
 
     print(f"{'config':>10s}  {'AlltoAll':>12s}")
     for config in ABLATION_LADDER:
-        result = pidcomm_alltoall(manager, "10", payload, 0, 0, INT64,
-                                  config=config, functional=False)
+        result = comm.alltoall("10", payload, config=config)
         print(f"{config.label:>10s}  {result.seconds * 1e3:>9.1f} ms")
     print("(no simulated memory was allocated for these runs:",
           system.touched_pes, "PEs touched)")
+    print()
+    return comm, payload
+
+
+def batch_demo(comm: Communicator, payload: int) -> None:
+    print("=== Batch demo: 4 independent AlltoAlls, one submit() ===")
+    step = 16 << 20
+    requests = [CommRequest("alltoall", "10", payload,
+                            src_offset=k * 2 * step,
+                            dst_offset=k * 2 * step + step)
+                for k in range(4)]
+    batch = comm.submit(requests)
+    print(render_batch_timeline(batch))
+    print()
+    print(comm.stats.report())
 
 
 if __name__ == "__main__":
     functional_demo()
-    analytic_demo()
+    session, payload = analytic_demo()
+    batch_demo(session, payload)

@@ -5,17 +5,29 @@ and Flexible Collective Communication Framework for Commodity
 Processing-in-DIMM Devices* (ISCA 2024) on a simulated UPMEM-like
 substrate.
 
-Quickstart::
+Quickstart (the session API)::
 
-    from repro import DimmSystem, HypercubeManager, pidcomm_allreduce
+    from repro import Communicator, DimmSystem, HypercubeManager
 
     system = DimmSystem.paper_testbed()
-    manager = HypercubeManager(system, shape=(32, 32))
+    comm = Communicator(HypercubeManager(system, shape=(32, 32)))
     buf = system.alloc(1 << 12)
     out = system.alloc(1 << 12)
+    result = comm.allreduce("11", 1 << 12, src_offset=buf, dst_offset=out,
+                            data_type="int64", functional=False)
+    print(f"modelled time: {result.seconds * 1e3:.3f} ms")
+    print(result.breakdown)          # per-category modelled seconds
+
+Repeated calls with the same shape reuse the compiled plan
+(``comm.stats`` reports hits), and ``comm.submit([...])`` schedules a
+batch of independent collectives with overlap-aware pricing.
+
+The legacy one-call-per-collective surface (paper Figure 10) is kept
+for paper fidelity and delegates to the same engine::
+
+    from repro import pidcomm_allreduce
     result = pidcomm_allreduce(manager, "11", 1 << 12, buf, out,
                                data_type="int64", functional=False)
-    print(f"modelled time: {result.seconds * 1e3:.3f} ms")
 """
 
 from .core.api import (
@@ -33,15 +45,25 @@ from .core.api import (
 from .core.collectives import ABLATION_LADDER, BASELINE, FULL, PR_IM, PR_ONLY, OptConfig
 from .core.hypercube import HypercubeManager
 from .dtypes import ALL_OPS, ALL_TYPES, dtype_by_name, op_by_name
+from .engine import (
+    BatchResult,
+    CommFuture,
+    CommRequest,
+    Communicator,
+    EngineStats,
+    PlanCache,
+)
 from .errors import PidCommError
 from .hw import DimmGeometry, DimmSystem, MachineParams
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
-    "CommResult", "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",
+    "Communicator", "CommRequest", "CommResult", "CommFuture",
+    "BatchResult", "PlanCache", "EngineStats",
+    "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",
     "dtype_by_name", "op_by_name", "PidCommError",
     "pidcomm_alltoall", "pidcomm_allgather", "pidcomm_reduce_scatter",
     "pidcomm_allreduce", "pidcomm_scatter", "pidcomm_gather",

@@ -12,6 +12,11 @@ timeline like::
 
 plus a per-category bar chart -- the same decomposition Figure 17
 plots, but for one concrete invocation.
+
+``render_batch_timeline`` does the same for one engine
+:class:`~repro.engine.result.BatchResult`: one line per dependency
+wave, showing the overlap-aware wave cost against what the same
+requests cost serially.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.collectives.plan import CommPlan
+from ..engine.result import BatchResult
 from ..hw.system import DimmSystem
 from ..hw.timing import CATEGORIES, CostLedger
 
@@ -80,6 +86,61 @@ def render_categories(plan: CommPlan, system: DimmSystem) -> str:
         share = seconds / ledger.total
         lines.append(f"{category:<{width}s} {seconds * 1e3:>9.3f} ms "
                      f"{share:>5.1%}  {_bar(seconds, longest)}")
+    return "\n".join(lines)
+
+
+@dataclass
+class WaveTrace:
+    """Priced record of one batch wave."""
+
+    index: int
+    labels: list[str]
+    ledger: CostLedger
+    serial_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Overlap-aware modelled time of the wave."""
+        return self.ledger.total
+
+    @property
+    def overlap_saved(self) -> float:
+        """Seconds the concurrent schedule hides vs. serial issue."""
+        return max(0.0, self.serial_seconds - self.seconds)
+
+
+def trace_batch(batch: BatchResult) -> list[WaveTrace]:
+    """Per-wave priced records of a submitted batch."""
+    labels = {future.index: future.label for future in batch.futures}
+    return [WaveTrace(index=cost.index,
+                      labels=[labels[i] for i in cost.request_indices],
+                      ledger=cost.ledger,
+                      serial_seconds=cost.serial_seconds)
+            for cost in batch.wave_costs]
+
+
+def render_batch_timeline(batch: BatchResult) -> str:
+    """Render a per-wave timeline of a batch's modelled time.
+
+    Example::
+
+        Batch(3 requests, 2 waves)  total 2.9 ms  serial 4.4 ms  1.52x
+        wave 0 |  1.9 ms  ######   alltoall[d1] 4096B + allreduce[d0] ...
+        wave 1 |  1.0 ms  ###      allgather[d1] 512B
+    """
+    traces = trace_batch(batch)
+    lines = [f"Batch({len(batch.futures)} requests, {len(traces)} waves)"
+             f"  total {batch.seconds * 1e3:.3f} ms"
+             f"  serial {batch.serial_seconds * 1e3:.3f} ms"
+             f"  {batch.speedup:.2f}x"]
+    longest = max((t.seconds for t in traces), default=0.0)
+    for t in traces:
+        members = " + ".join(t.labels)
+        saved = (f"  (hides {t.overlap_saved * 1e3:.3f} ms)"
+                 if t.overlap_saved > 0 else "")
+        lines.append(f"wave {t.index} |{t.seconds * 1e3:>9.3f} ms  "
+                     f"{_bar(t.seconds, longest):<{_BAR_WIDTH}s} "
+                     f"{members}{saved}")
     return "\n".join(lines)
 
 

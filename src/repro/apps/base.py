@@ -6,6 +6,14 @@ the application code is identical either way (exactly the promise of a
 communication *library*).  The harness records a cost ledger per
 primitive, which is what the paper's per-application breakdown figures
 (4 and 13) plot.
+
+The harness runs on the execution engine: every collective shape an
+application issues is compiled once and served from a
+:class:`~repro.engine.cache.PlanCache` on every later iteration (BFS
+rounds, GNN layers, DLRM batches all repeat their shapes), and an
+:class:`~repro.engine.stats.EngineStats` session records plans
+compiled vs. cached, bytes moved, and per-category cost; the snapshot
+lands in ``AppResult.meta["engine"]``.
 """
 
 from __future__ import annotations
@@ -17,7 +25,6 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..baselines.simplepim import baseline_plan
-from ..core.api import _reduced_vector
 from ..core.collectives import (
     FULL,
     GATHER_SCRATCH,
@@ -33,8 +40,13 @@ from ..core.collectives import (
     plan_reduce_scatter,
     plan_scatter,
 )
+from ..core.groups import resolve_dims
 from ..core.hypercube import HypercubeManager
 from ..dtypes import DataType, INT64, ReduceOp, SUM
+from ..engine.cache import PlanCache, bind_payloads
+from ..engine.request import ARITHMETIC_PRIMITIVES, PlanKey
+from ..engine.result import reduced_vector
+from ..engine.stats import EngineStats
 from ..errors import AppError
 from ..hw.timing import CostLedger
 
@@ -136,22 +148,47 @@ class AppHarness:
         self.functional = functional
         self.ledger = CostLedger()
         self.per_primitive: dict[str, float] = {}
+        self.cache = PlanCache()
+        self.stats = EngineStats()
 
     # ------------------------------------------------------------------
     # Communication
     # ------------------------------------------------------------------
+    def _plan(self, primitive: str, dims: str, total_data_size: int,
+              src: int, dst: int, dtype: DataType, op: ReduceOp
+              ) -> tuple[CommPlan, bool]:
+        """Cached payload-free plan for the invocation; (plan, hit)."""
+        key = PlanKey(
+            primitive=primitive,
+            dims=resolve_dims(self.manager, dims),
+            total_data_size=total_data_size, src_offset=src, dst_offset=dst,
+            dtype=dtype.name,
+            op=op.name if primitive in ARITHMETIC_PRIMITIVES else None,
+            variant=self.backend.name)
+        hits_before = self.cache.hits
+        plan = self.cache.get_or_build(
+            key, lambda: self.backend.build_plan(
+                primitive, self.manager, dims, total_data_size, src, dst,
+                dtype, op, None))
+        return plan, self.cache.hits > hits_before
+
+    def _account(self, primitive: str, plan: CommPlan, ledger: CostLedger,
+                 cached: bool) -> None:
+        self.ledger.merge(ledger)
+        self.per_primitive[primitive] = (
+            self.per_primitive.get(primitive, 0.0) + ledger.total)
+        self.stats.record_call(primitive, plan, ledger, cached=cached)
+
     def comm(self, primitive: str, dims: str, total_data_size: int,
              src: int = 0, dst: int = 0, dtype: DataType = INT64,
              op: ReduceOp = SUM,
              payloads: Mapping[int, np.ndarray] | None = None):
         """Run one collective; returns host outputs for rooted primitives."""
-        plan = self.backend.build_plan(
-            primitive, self.manager, dims, total_data_size, src, dst,
-            dtype, op, payloads if self.functional else None)
-        ledger, ctx = plan.run(self.system, functional=self.functional)
-        self.ledger.merge(ledger)
-        self.per_primitive[primitive] = (
-            self.per_primitive.get(primitive, 0.0) + ledger.total)
+        plan, hit = self._plan(primitive, dims, total_data_size, src, dst,
+                               dtype, op)
+        bound = bind_payloads(plan, payloads if self.functional else None)
+        ledger, ctx = bound.run(self.system, functional=self.functional)
+        self._account(primitive, plan, ledger, cached=hit)
         if ctx is None:
             return None
         if primitive == "gather":
@@ -162,7 +199,7 @@ class AppHarness:
                 outputs = ctx.scratch.get("reduce.out")
             if outputs is None:
                 return None
-            return {inst: np.asarray(_reduced_vector(buf, dtype)).view(
+            return {inst: np.asarray(reduced_vector(buf, dtype)).view(
                 dtype.np_dtype).reshape(-1)
                 for inst, buf in outputs.items()}
         return None
@@ -176,13 +213,10 @@ class AppHarness:
         simulator keeps host-side (e.g. the scattered adjacency
         slices): the cost is modelled, the bytes are not re-staged.
         """
-        plan = self.backend.build_plan(
-            primitive, self.manager, dims, total_data_size, src, dst,
-            dtype, op, None)
+        plan, hit = self._plan(primitive, dims, total_data_size, src, dst,
+                               dtype, op)
         ledger = plan.estimate(self.system)
-        self.ledger.merge(ledger)
-        self.per_primitive[primitive] = (
-            self.per_primitive.get(primitive, 0.0) + ledger.total)
+        self._account(primitive, plan, ledger, cached=hit)
 
     def _typed_outputs(self, outputs, dtype: DataType):
         if outputs is None:
@@ -214,6 +248,7 @@ class AppHarness:
     def result(self, app: str, output: Any = None,
                **meta: Any) -> AppResult:
         """Package the accumulated run into an :class:`AppResult`."""
+        meta.setdefault("engine", self.stats.snapshot())
         return AppResult(app=app, backend=self.backend.name,
                          ledger=self.ledger,
                          per_primitive=dict(self.per_primitive),

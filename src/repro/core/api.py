@@ -1,81 +1,43 @@
-"""The user-facing PID-Comm API (Figure 10 of the paper).
+"""The legacy user-facing PID-Comm API (Figure 10 of the paper).
 
 Eight ``pidcomm_*`` functions mirror the C API::
 
     pidcomm_reduce_scatter(manager, "010", total_data_size,
                            src_offset, dst_offset, "int32", "sum")
 
-Each call compiles a plan, prices it, optionally executes it against
-the simulated DIMMs, and returns a :class:`CommResult` carrying the
-modelled cost ledger, the plan, and (for rooted primitives) the host
-side outputs.
+This is the paper-fidelity surface: the signatures follow Figure 10
+positionally, one call per collective.  New code should prefer the
+session API, :class:`repro.engine.Communicator`, which exposes the same
+eight primitives with keyword-only buffer arguments plus a plan cache,
+batched submission, and per-call instrumentation::
 
-``functional=False`` skips the data movement: use it for paper-scale
-analytic runs where only the cost matters.
+    comm = Communicator(manager)
+    result = comm.reduce_scatter("010", total_data_size,
+                                 src_offset=src, dst_offset=dst,
+                                 data_type="int32", reduction_type="sum")
+
+The shims below delegate to a shared per-manager session, so even
+legacy call sites get steady-state plan caching for free.  Each call
+returns a :class:`CommResult` carrying the modelled cost ledger, the
+plan, and (for rooted primitives) the host-side outputs;
+``functional=False`` skips the data movement for paper-scale analytic
+runs where only the cost matters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..dtypes import DataType, ReduceOp, dtype_by_name, op_by_name
-from ..errors import CollectiveError
-from ..hw.timing import CostLedger
-from .collectives import (
-    FULL,
-    GATHER_SCRATCH,
-    REDUCE_SCRATCH,
-    CommPlan,
-    OptConfig,
-    plan_allgather,
-    plan_allreduce,
-    plan_alltoall,
-    plan_broadcast,
-    plan_gather,
-    plan_reduce,
-    plan_reduce_scatter,
-    plan_scatter,
-)
+from ..dtypes import DataType, ReduceOp
+from ..engine.communicator import shared_communicator
+from ..engine.result import CommResult, reduced_vector
+from .collectives import FULL, OptConfig
 from .hypercube import HypercubeManager
 
-
-@dataclass
-class CommResult:
-    """Outcome of one collective invocation."""
-
-    plan: CommPlan
-    ledger: CostLedger
-    #: instance -> host output array (rooted primitives only).
-    host_outputs: dict[int, np.ndarray] | None = None
-
-    @property
-    def seconds(self) -> float:
-        """Modelled execution time."""
-        return self.ledger.total
-
-
-def _as_dtype(data_type: DataType | str) -> DataType:
-    if isinstance(data_type, DataType):
-        return data_type
-    return dtype_by_name(data_type)
-
-
-def _as_op(reduction: ReduceOp | str) -> ReduceOp:
-    if isinstance(reduction, ReduceOp):
-        return reduction
-    return op_by_name(reduction)
-
-
-def _finish(plan: CommPlan, manager: HypercubeManager, functional: bool,
-            scratch_key: str | None = None) -> CommResult:
-    ledger, ctx = plan.run(manager.system, functional=functional)
-    host_outputs = None
-    if ctx is not None and scratch_key is not None:
-        host_outputs = ctx.scratch.get(scratch_key)
-    return CommResult(plan=plan, ledger=ledger, host_outputs=host_outputs)
+#: Backwards-compatible alias (the helper moved to ``repro.engine``).
+_reduced_vector = reduced_vector
 
 
 def pidcomm_alltoall(manager: HypercubeManager,
@@ -85,9 +47,10 @@ def pidcomm_alltoall(manager: HypercubeManager,
                      config: OptConfig = FULL,
                      functional: bool = True) -> CommResult:
     """AlltoAll across the cube slices selected by ``comm_dimensions``."""
-    plan = plan_alltoall(manager, comm_dimensions, total_data_size,
-                         src_offset, dst_offset, _as_dtype(data_type), config)
-    return _finish(plan, manager, functional)
+    return shared_communicator(manager).alltoall(
+        comm_dimensions, total_data_size, src_offset=src_offset,
+        dst_offset=dst_offset, data_type=data_type, config=config,
+        functional=functional)
 
 
 def pidcomm_allgather(manager: HypercubeManager,
@@ -97,10 +60,10 @@ def pidcomm_allgather(manager: HypercubeManager,
                       config: OptConfig = FULL,
                       functional: bool = True) -> CommResult:
     """AllGather: every group member ends with all members' chunks."""
-    plan = plan_allgather(manager, comm_dimensions, total_data_size,
-                          src_offset, dst_offset, _as_dtype(data_type),
-                          config)
-    return _finish(plan, manager, functional)
+    return shared_communicator(manager).allgather(
+        comm_dimensions, total_data_size, src_offset=src_offset,
+        dst_offset=dst_offset, data_type=data_type, config=config,
+        functional=functional)
 
 
 def pidcomm_reduce_scatter(manager: HypercubeManager,
@@ -112,10 +75,10 @@ def pidcomm_reduce_scatter(manager: HypercubeManager,
                            config: OptConfig = FULL,
                            functional: bool = True) -> CommResult:
     """ReduceScatter (consumes the source buffer, like the PIM kernel)."""
-    plan = plan_reduce_scatter(manager, comm_dimensions, total_data_size,
-                               src_offset, dst_offset, _as_dtype(data_type),
-                               _as_op(reduction_type), config)
-    return _finish(plan, manager, functional)
+    return shared_communicator(manager).reduce_scatter(
+        comm_dimensions, total_data_size, src_offset=src_offset,
+        dst_offset=dst_offset, data_type=data_type,
+        reduction_type=reduction_type, config=config, functional=functional)
 
 
 def pidcomm_allreduce(manager: HypercubeManager,
@@ -126,10 +89,10 @@ def pidcomm_allreduce(manager: HypercubeManager,
                       config: OptConfig = FULL,
                       functional: bool = True) -> CommResult:
     """AllReduce as a fused ReduceScatter + AllGather."""
-    plan = plan_allreduce(manager, comm_dimensions, total_data_size,
-                          src_offset, dst_offset, _as_dtype(data_type),
-                          _as_op(reduction_type), config)
-    return _finish(plan, manager, functional)
+    return shared_communicator(manager).allreduce(
+        comm_dimensions, total_data_size, src_offset=src_offset,
+        dst_offset=dst_offset, data_type=data_type,
+        reduction_type=reduction_type, config=config, functional=functional)
 
 
 def pidcomm_gather(manager: HypercubeManager,
@@ -143,15 +106,9 @@ def pidcomm_gather(manager: HypercubeManager,
     Each instance's output is the rank-order concatenation of member
     chunks, returned as a typed numpy array.
     """
-    dtype = _as_dtype(data_type)
-    plan = plan_gather(manager, comm_dimensions, total_data_size, src_offset,
-                       dtype, config)
-    result = _finish(plan, manager, functional, scratch_key=GATHER_SCRATCH)
-    if result.host_outputs is not None:
-        result.host_outputs = {
-            inst: buf.view(dtype.np_dtype)
-            for inst, buf in result.host_outputs.items()}
-    return result
+    return shared_communicator(manager).gather(
+        comm_dimensions, total_data_size, src_offset=src_offset,
+        data_type=data_type, config=config, functional=functional)
 
 
 def pidcomm_scatter(manager: HypercubeManager,
@@ -167,11 +124,10 @@ def pidcomm_scatter(manager: HypercubeManager,
     (``group_size * total_data_size`` bytes worth of elements); it may
     be omitted for analytic (``functional=False``) runs.
     """
-    if functional and payloads is None:
-        raise CollectiveError("functional scatter needs payloads")
-    plan = plan_scatter(manager, comm_dimensions, total_data_size,
-                        dst_offset, _as_dtype(data_type), payloads, config)
-    return _finish(plan, manager, functional)
+    return shared_communicator(manager).scatter(
+        comm_dimensions, total_data_size, dst_offset=dst_offset,
+        data_type=data_type, payloads=payloads, config=config,
+        functional=functional)
 
 
 def pidcomm_reduce(manager: HypercubeManager,
@@ -182,23 +138,10 @@ def pidcomm_reduce(manager: HypercubeManager,
                    config: OptConfig = FULL,
                    functional: bool = True) -> CommResult:
     """Reduce to the host; results in ``result.host_outputs``."""
-    dtype = _as_dtype(data_type)
-    plan = plan_reduce(manager, comm_dimensions, total_data_size, src_offset,
-                       dtype, _as_op(reduction_type), config)
-    result = _finish(plan, manager, functional, scratch_key=REDUCE_SCRATCH)
-    if result.host_outputs is not None:
-        result.host_outputs = {
-            inst: _reduced_vector(buf, dtype)
-            for inst, buf in result.host_outputs.items()}
-    return result
-
-
-def _reduced_vector(buf: np.ndarray, dtype: DataType) -> np.ndarray:
-    """Assemble a reduce result: lane-major rows -> one typed vector."""
-    arr = np.asarray(buf)
-    if arr.ndim == 2:  # optimized path keeps the (lanes, elems) matrix
-        return np.ascontiguousarray(arr).reshape(-1)
-    return arr.view(dtype.np_dtype)  # conventional path stores raw bytes
+    return shared_communicator(manager).reduce(
+        comm_dimensions, total_data_size, src_offset=src_offset,
+        data_type=data_type, reduction_type=reduction_type, config=config,
+        functional=functional)
 
 
 def pidcomm_broadcast(manager: HypercubeManager,
@@ -209,11 +152,10 @@ def pidcomm_broadcast(manager: HypercubeManager,
                       config: OptConfig = FULL,
                       functional: bool = True) -> CommResult:
     """Broadcast per-instance host buffers to every member PE."""
-    if functional and payloads is None:
-        raise CollectiveError("functional broadcast needs payloads")
-    plan = plan_broadcast(manager, comm_dimensions, total_data_size,
-                          dst_offset, _as_dtype(data_type), payloads, config)
-    return _finish(plan, manager, functional)
+    return shared_communicator(manager).broadcast(
+        comm_dimensions, total_data_size, dst_offset=dst_offset,
+        data_type=data_type, payloads=payloads, config=config,
+        functional=functional)
 
 
 ALL_PRIMITIVES = (

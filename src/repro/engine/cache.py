@@ -1,0 +1,106 @@
+"""Plan compilation cache: steady-state collectives skip the planner.
+
+The paper's applications issue the *same* collective shape thousands of
+times per run (one AllReduce per GNN layer per epoch, one AlltoAll per
+BFS frontier round, ...), yet planning re-slices the hypercube into
+groups, re-validates sizes, and rebuilds step lists on every call.
+Plans are stateless once built -- steps hold only static parameters and
+every execution threads its own :class:`ExecContext` -- so a compiled
+plan is reusable verbatim.  The only per-call state a plan can carry is
+scatter/broadcast payloads; cached plans are therefore compiled
+*payload-free* and :func:`bind_payloads` grafts the call's payloads
+onto a shallow copy at submission time.
+
+Keys are :class:`~repro.engine.request.PlanKey` instances:
+``(primitive, dims, size, offsets, dtype, op, variant)`` where
+``variant`` is the (frozen, hashable) :class:`OptConfig` -- or a
+backend name, for the application harness.  Hit/miss counters feed
+:class:`~repro.engine.stats.EngineStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.collectives import CommPlan
+from ..core.collectives.planner import _payload_bytes
+from .request import PlanKey
+
+
+class PlanCache:
+    """An LRU map from :class:`PlanKey` to compiled :class:`CommPlan`.
+
+    ``maxsize=None`` (the default) never evicts -- application runs use
+    a handful of distinct shapes, so unbounded is the right default;
+    pass a bound for long-lived services cycling through many shapes.
+    """
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._plans: OrderedDict[PlanKey, CommPlan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    def get_or_build(self, key: PlanKey,
+                     builder: Callable[[], CommPlan]) -> CommPlan:
+        """Return the cached plan for ``key``, compiling on first use."""
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.misses += 1
+        plan = builder()
+        self._plans[key] = plan
+        if self.maxsize is not None and len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        return plan
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def clear(self) -> None:
+        """Drop all plans and reset the counters."""
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def bind_payloads(plan: CommPlan,
+                  payloads: Mapping[int, np.ndarray] | None) -> CommPlan:
+    """Graft per-call payloads onto a cached, payload-free plan.
+
+    Returns ``plan`` unchanged when there is nothing to bind.  Only
+    steps that source data from host payloads (and are not already fed
+    from a scratch key by an earlier step) are copied; all other steps
+    are shared with the cached plan, which stays payload-free.
+    """
+    if payloads is None:
+        return plan
+    raw = _payload_bytes(payloads)
+    steps = []
+    bound = False
+    for step in plan.steps:
+        takes_payloads = (hasattr(step, "payloads")
+                          and getattr(step, "scratch_key", None) is None)
+        if takes_payloads:
+            steps.append(replace(step, payloads=raw))
+            bound = True
+        else:
+            steps.append(step)
+    if not bound:
+        return plan
+    return CommPlan(plan.primitive, steps, plan.meta)

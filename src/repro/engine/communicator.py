@@ -1,0 +1,310 @@
+"""The session-based frontend: :class:`Communicator`.
+
+A :class:`Communicator` binds a hypercube manager to an execution
+session: a plan compilation cache, an overlap-aware batch submitter,
+and per-call instrumentation.  It is the recommended API::
+
+    from repro import Communicator, DimmSystem, HypercubeManager
+
+    system = DimmSystem.paper_testbed()
+    comm = Communicator(HypercubeManager(system, shape=(32, 32)))
+    result = comm.allreduce("10", 8 << 20, src_offset=src, dst_offset=dst,
+                            data_type="int64", reduction_type="sum")
+
+The eight methods mirror the paper's Figure-10 primitives with
+*consistent keyword-only* ``src_offset``/``dst_offset``/``payloads``
+arguments (the legacy ``pidcomm_*`` functions keep the C-style
+positional signatures and delegate here).  Repeated calls with the same
+shape reuse the compiled plan -- steady state performs zero re-planning
+-- and ``submit()`` takes a whole batch of :class:`CommRequest`\\ s,
+schedules data-independent instances into concurrent waves, and prices
+them with :meth:`CostLedger.merge_concurrent`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.collectives import (
+    FULL,
+    GATHER_SCRATCH,
+    REDUCE_SCRATCH,
+    CommPlan,
+    OptConfig,
+    plan_allgather,
+    plan_allreduce,
+    plan_alltoall,
+    plan_broadcast,
+    plan_gather,
+    plan_reduce,
+    plan_reduce_scatter,
+    plan_scatter,
+)
+from ..core.hypercube import HypercubeManager
+from ..dtypes import DataType, ReduceOp
+from ..errors import CollectiveError
+from ..hw.timing import CostLedger
+from .cache import PlanCache, bind_payloads
+from .request import CommRequest, NormalizedRequest
+from .result import BatchResult, CommFuture, CommResult, reduced_vector
+from .scheduler import price_waves, schedule_waves
+from .stats import EngineStats
+
+
+class Communicator:
+    """Session-oriented collective engine over one hypercube manager.
+
+    Args:
+        manager: The virtual hypercube the session communicates over.
+        config: Default :class:`OptConfig` (per-call overrides allowed).
+        functional: Whether calls move real bytes (False = analytic
+            pricing only); overridable per call and per batch.
+        cache_size: Plan-cache bound (None = unbounded).
+    """
+
+    def __init__(self, manager: HypercubeManager,
+                 config: OptConfig = FULL, functional: bool = True,
+                 cache_size: int | None = None) -> None:
+        self.manager = manager
+        self.config = config
+        self.functional = functional
+        self.cache = PlanCache(maxsize=cache_size)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Engine internals
+    # ------------------------------------------------------------------
+    def _compile(self, req: NormalizedRequest) -> tuple[CommPlan, bool]:
+        """Cached plan for ``req`` (payload-free); returns (plan, hit)."""
+        hits_before = self.cache.hits
+        plan = self.cache.get_or_build(req.plan_key,
+                                       lambda: self._build_plan(req))
+        return plan, self.cache.hits > hits_before
+
+    def _build_plan(self, req: NormalizedRequest) -> CommPlan:
+        m, dims, size = self.manager, req.dims, req.total_data_size
+        src, dst = req.src_offset, req.dst_offset
+        dtype, op, cfg = req.dtype, req.op, req.config
+        if req.primitive == "alltoall":
+            return plan_alltoall(m, dims, size, src, dst, dtype, cfg)
+        if req.primitive == "allgather":
+            return plan_allgather(m, dims, size, src, dst, dtype, cfg)
+        if req.primitive == "reduce_scatter":
+            return plan_reduce_scatter(m, dims, size, src, dst, dtype, op,
+                                       cfg)
+        if req.primitive == "allreduce":
+            return plan_allreduce(m, dims, size, src, dst, dtype, op, cfg)
+        if req.primitive == "gather":
+            return plan_gather(m, dims, size, src, dtype, cfg)
+        if req.primitive == "scatter":
+            return plan_scatter(m, dims, size, dst, dtype, None, cfg)
+        if req.primitive == "reduce":
+            return plan_reduce(m, dims, size, src, dtype, op, cfg)
+        if req.primitive == "broadcast":
+            return plan_broadcast(m, dims, size, dst, dtype, None, cfg)
+        raise CollectiveError(f"unknown primitive {req.primitive!r}")
+
+    def _run(self, req: NormalizedRequest, functional: bool) -> CommResult:
+        """Compile (or fetch), execute, post-process, record."""
+        if functional and req.primitive in ("scatter", "broadcast") \
+                and req.payloads is None:
+            raise CollectiveError(
+                f"functional {req.primitive} needs payloads")
+        plan, hit = self._compile(req)
+        bound = bind_payloads(plan, req.payloads if functional else None)
+        ledger, ctx = bound.run(self.manager.system, functional=functional)
+        host_outputs = None
+        if ctx is not None:
+            if req.primitive == "gather":
+                outputs = ctx.scratch.get(GATHER_SCRATCH)
+                host_outputs = {
+                    inst: buf.view(req.dtype.np_dtype)
+                    for inst, buf in outputs.items()}
+            elif req.primitive == "reduce":
+                outputs = ctx.scratch.get(REDUCE_SCRATCH)
+                host_outputs = {
+                    inst: reduced_vector(buf, req.dtype)
+                    for inst, buf in outputs.items()}
+        self.stats.record_call(req.primitive, plan, ledger, cached=hit)
+        return CommResult(plan=bound, ledger=ledger,
+                          host_outputs=host_outputs, cached=hit)
+
+    def _call(self, request: CommRequest,
+              functional: bool | None) -> CommResult:
+        req = request.normalize(self.manager, self.config)
+        return self._run(
+            req, self.functional if functional is None else functional)
+
+    # ------------------------------------------------------------------
+    # Batched submission
+    # ------------------------------------------------------------------
+    def submit(self, requests: Sequence[CommRequest],
+               functional: bool | None = None) -> BatchResult:
+        """Run a batch of requests with overlap-aware scheduling.
+
+        Requests are analyzed for buffer hazards and split into
+        dependency waves; waves execute in order (functional semantics
+        are exactly the serial ones), while data-independent instances
+        within a wave are priced concurrently: overlappable phases
+        (bus, PE work, launch/sync) take the max across instances,
+        host-core phases still sum.  The returned
+        :class:`BatchResult` carries one resolved :class:`CommFuture`
+        per request plus the batch ledger; its total is <= (and, with
+        any independent pair, strictly <) the serial sum.
+        """
+        if not requests:
+            raise CollectiveError("submit() needs at least one request")
+        run_functional = (self.functional if functional is None
+                          else functional)
+        normalized = [r.normalize(self.manager, self.config)
+                      for r in requests]
+        waves = schedule_waves(normalized)
+        futures: list[CommFuture] = [None] * len(normalized)  # type: ignore
+        ledgers: list[CostLedger] = [None] * len(normalized)  # type: ignore
+        for w, indices in enumerate(waves):
+            for i in indices:
+                result = self._run(normalized[i], run_functional)
+                ledgers[i] = result.ledger
+                futures[i] = CommFuture(index=i,
+                                        label=normalized[i].describe(),
+                                        wave=w, _result=result)
+        wave_costs = price_waves(waves, ledgers)
+        batch_ledger = CostLedger()
+        serial = CostLedger()
+        for cost in wave_costs:
+            batch_ledger.merge(cost.ledger)
+        for lg in ledgers:
+            serial.merge(lg)
+        self.stats.record_batch(len(waves), serial.total, batch_ledger.total)
+        return BatchResult(futures=futures, ledger=batch_ledger,
+                           serial_ledger=serial, waves=waves,
+                           wave_costs=wave_costs)
+
+    # ------------------------------------------------------------------
+    # The eight primitives (Figure 10, keyword-only buffer arguments)
+    # ------------------------------------------------------------------
+    def alltoall(self, comm_dimensions: str | Sequence[int],
+                 total_data_size: int, *, src_offset: int = 0,
+                 dst_offset: int = 0, data_type: DataType | str = "int64",
+                 config: OptConfig | None = None,
+                 functional: bool | None = None) -> CommResult:
+        """AlltoAll across the cube slices selected by ``comm_dimensions``."""
+        return self._call(CommRequest(
+            "alltoall", comm_dimensions, total_data_size,
+            src_offset=src_offset, dst_offset=dst_offset,
+            data_type=data_type, config=config), functional)
+
+    def allgather(self, comm_dimensions: str | Sequence[int],
+                  total_data_size: int, *, src_offset: int = 0,
+                  dst_offset: int = 0, data_type: DataType | str = "int64",
+                  config: OptConfig | None = None,
+                  functional: bool | None = None) -> CommResult:
+        """AllGather: every group member ends with all members' chunks."""
+        return self._call(CommRequest(
+            "allgather", comm_dimensions, total_data_size,
+            src_offset=src_offset, dst_offset=dst_offset,
+            data_type=data_type, config=config), functional)
+
+    def reduce_scatter(self, comm_dimensions: str | Sequence[int],
+                       total_data_size: int, *, src_offset: int = 0,
+                       dst_offset: int = 0,
+                       data_type: DataType | str = "int64",
+                       reduction_type: ReduceOp | str = "sum",
+                       config: OptConfig | None = None,
+                       functional: bool | None = None) -> CommResult:
+        """ReduceScatter (consumes the source buffer, like the PIM kernel)."""
+        return self._call(CommRequest(
+            "reduce_scatter", comm_dimensions, total_data_size,
+            src_offset=src_offset, dst_offset=dst_offset,
+            data_type=data_type, reduction_type=reduction_type,
+            config=config), functional)
+
+    def allreduce(self, comm_dimensions: str | Sequence[int],
+                  total_data_size: int, *, src_offset: int = 0,
+                  dst_offset: int = 0, data_type: DataType | str = "int64",
+                  reduction_type: ReduceOp | str = "sum",
+                  config: OptConfig | None = None,
+                  functional: bool | None = None) -> CommResult:
+        """AllReduce as a fused ReduceScatter + AllGather."""
+        return self._call(CommRequest(
+            "allreduce", comm_dimensions, total_data_size,
+            src_offset=src_offset, dst_offset=dst_offset,
+            data_type=data_type, reduction_type=reduction_type,
+            config=config), functional)
+
+    def scatter(self, comm_dimensions: str | Sequence[int],
+                total_data_size: int, *, dst_offset: int = 0,
+                data_type: DataType | str = "int64",
+                payloads: Mapping[int, np.ndarray] | None = None,
+                config: OptConfig | None = None,
+                functional: bool | None = None) -> CommResult:
+        """Scatter host chunks to the PEs."""
+        return self._call(CommRequest(
+            "scatter", comm_dimensions, total_data_size,
+            dst_offset=dst_offset, data_type=data_type, payloads=payloads,
+            config=config), functional)
+
+    def gather(self, comm_dimensions: str | Sequence[int],
+               total_data_size: int, *, src_offset: int = 0,
+               data_type: DataType | str = "int64",
+               config: OptConfig | None = None,
+               functional: bool | None = None) -> CommResult:
+        """Gather to the host; results in ``result.host_outputs``."""
+        return self._call(CommRequest(
+            "gather", comm_dimensions, total_data_size,
+            src_offset=src_offset, data_type=data_type, config=config),
+            functional)
+
+    def reduce(self, comm_dimensions: str | Sequence[int],
+               total_data_size: int, *, src_offset: int = 0,
+               data_type: DataType | str = "int64",
+               reduction_type: ReduceOp | str = "sum",
+               config: OptConfig | None = None,
+               functional: bool | None = None) -> CommResult:
+        """Reduce to the host; results in ``result.host_outputs``."""
+        return self._call(CommRequest(
+            "reduce", comm_dimensions, total_data_size,
+            src_offset=src_offset, data_type=data_type,
+            reduction_type=reduction_type, config=config), functional)
+
+    def broadcast(self, comm_dimensions: str | Sequence[int],
+                  total_data_size: int, *, dst_offset: int = 0,
+                  data_type: DataType | str = "int64",
+                  payloads: Mapping[int, np.ndarray] | None = None,
+                  config: OptConfig | None = None,
+                  functional: bool | None = None) -> CommResult:
+        """Broadcast per-instance host buffers to every member PE."""
+        return self._call(CommRequest(
+            "broadcast", comm_dimensions, total_data_size,
+            dst_offset=dst_offset, data_type=data_type, payloads=payloads,
+            config=config), functional)
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters (cache contents persist)."""
+        self.stats = EngineStats()
+
+    def describe(self) -> str:
+        """One-line session summary."""
+        return (f"Communicator({self.manager.shape} cube, "
+                f"config {self.config.label}, {len(self.cache)} cached "
+                f"plans, {self.stats.calls} calls)")
+
+
+def shared_communicator(manager: HypercubeManager) -> Communicator:
+    """The per-manager session the legacy ``pidcomm_*`` shims delegate to.
+
+    Stored on the manager itself, so repeated legacy calls enjoy the
+    same plan cache the session API provides and the session's
+    lifetime tracks the manager's (the manager -> session -> manager
+    reference cycle is ordinary garbage-collected state).
+    """
+    session = getattr(manager, "_engine_session", None)
+    if session is None or session.manager is not manager:
+        session = Communicator(manager)
+        manager._engine_session = session
+    return session

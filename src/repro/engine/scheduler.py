@@ -1,0 +1,81 @@
+"""Batch scheduling: dependency waves and overlap-aware pricing.
+
+``submit()`` hands the engine a list of requests at once.  The
+scheduler splits them into *waves*: request ``i`` joins the earliest
+wave after every earlier request it has a buffer hazard with (RAW, WAR
+or WAW on per-PE MRAM intervals -- see
+:meth:`~repro.engine.request.Footprint.conflicts_with`).  Requests in
+one wave are data-independent instances, so
+
+* functionally they may run in any order (the engine keeps submission
+  order, which is trivially hazard-free *within* a wave), and
+* analytically the wave is priced with
+  :meth:`~repro.hw.timing.CostLedger.merge_concurrent`: bus bursts and
+  PE kernels of different instances overlap (max), host-core phases
+  serialize (sum), and the batched launch/sync is paid once.
+
+Waves are serialized against each other with plain :meth:`merge` -- a
+dependent request waits for its producers, exactly the host-side
+serialization a one-call-at-a-time API forces on *every* pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hw.timing import CostLedger
+from .request import NormalizedRequest
+
+
+def schedule_waves(requests: Sequence[NormalizedRequest]) -> list[list[int]]:
+    """Partition request indices into dependency waves.
+
+    Returns wave -> list of request indices, both in submission order.
+    """
+    footprints = [req.footprint() for req in requests]
+    wave_of: list[int] = []
+    for i, fp in enumerate(footprints):
+        wave = 0
+        for j in range(i):
+            if footprints[j].conflicts_with(fp):
+                wave = max(wave, wave_of[j] + 1)
+        wave_of.append(wave)
+    if not wave_of:
+        return []
+    waves: list[list[int]] = [[] for _ in range(max(wave_of) + 1)]
+    for i, wave in enumerate(wave_of):
+        waves[wave].append(i)
+    return waves
+
+
+@dataclass
+class WaveCost:
+    """Priced record of one wave."""
+
+    index: int
+    request_indices: list[int]
+    #: Overlap-aware combined cost of the wave's instances.
+    ledger: CostLedger
+    #: What the same instances cost priced one after another.
+    serial_seconds: float
+
+
+def price_waves(waves: Sequence[Sequence[int]],
+                ledgers: Sequence[CostLedger]) -> list[WaveCost]:
+    """Apply overlap-aware pricing per wave.
+
+    ``ledgers[i]`` is request ``i``'s solo ledger; waves of one request
+    keep it verbatim (a batch of one is a serial call).
+    """
+    costs = []
+    for w, indices in enumerate(waves):
+        members = [ledgers[i] for i in indices]
+        serial = sum(lg.total for lg in members)
+        if len(members) == 1:
+            merged = members[0].copy()
+        else:
+            merged = CostLedger.merge_concurrent(members)
+        costs.append(WaveCost(index=w, request_indices=list(indices),
+                              ledger=merged, serial_seconds=serial))
+    return costs

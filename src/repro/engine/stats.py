@@ -1,0 +1,134 @@
+"""Engine instrumentation: per-call metrics and the EngineStats report.
+
+Every collective that flows through the engine records what the session
+actually did -- plans compiled vs. served from cache, payload bytes
+moved, modelled seconds split by cost category and by primitive, and
+(for batched submissions) how much the overlap-aware schedule saved
+over pricing the same requests serially.  ``report()`` renders the
+counters as a text block in the house style of ``analysis/trace.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.collectives import CommPlan
+from ..hw.timing import CATEGORIES, CostLedger
+
+
+def plan_payload_bytes(plan: CommPlan) -> int:
+    """Payload bytes one invocation of ``plan`` carries through the system.
+
+    Derived from plan metadata: per-PE input plus output bytes, over
+    every member PE of every instance.  This is an application-level
+    traffic measure (what the user asked to move), not bus occupancy --
+    the ledger's ``bus`` term prices that.
+    """
+    meta = plan.meta
+    per_pe = meta.get("per_pe_bytes", 0) + meta.get("out_bytes_per_pe", 0)
+    return per_pe * meta.get("instances", 1) * meta.get("group_size", 1)
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated by one engine session."""
+
+    calls: int = 0
+    plans_compiled: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    waves: int = 0
+    bytes_moved: int = 0
+    modelled_seconds: float = 0.0
+    overlap_saved_seconds: float = 0.0
+    per_primitive_calls: dict[str, int] = field(default_factory=dict)
+    per_primitive_seconds: dict[str, float] = field(default_factory=dict)
+    per_category_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_misses(self) -> int:
+        """Lookups that had to compile (== plans compiled)."""
+        return self.plans_compiled
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.plans_compiled
+        return self.cache_hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_call(self, primitive: str, plan: CommPlan,
+                    ledger: CostLedger, cached: bool) -> None:
+        """Account one collective invocation."""
+        self.calls += 1
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.plans_compiled += 1
+        self.bytes_moved += plan_payload_bytes(plan)
+        self.modelled_seconds += ledger.total
+        self.per_primitive_calls[primitive] = (
+            self.per_primitive_calls.get(primitive, 0) + 1)
+        self.per_primitive_seconds[primitive] = (
+            self.per_primitive_seconds.get(primitive, 0.0) + ledger.total)
+        for category, seconds in ledger.seconds.items():
+            self.per_category_seconds[category] = (
+                self.per_category_seconds.get(category, 0.0) + seconds)
+
+    def record_batch(self, waves: int, serial_seconds: float,
+                     overlapped_seconds: float) -> None:
+        """Account one ``submit()``: overlap credit vs. the serial sum."""
+        self.batches += 1
+        self.waves += waves
+        self.overlap_saved_seconds += max(0.0,
+                                          serial_seconds - overlapped_seconds)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict copy for result metadata / persistence."""
+        return {
+            "calls": self.calls,
+            "plans_compiled": self.plans_compiled,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batches": self.batches,
+            "waves": self.waves,
+            "bytes_moved": self.bytes_moved,
+            "modelled_seconds": self.modelled_seconds,
+            "overlap_saved_seconds": self.overlap_saved_seconds,
+            "per_primitive_calls": dict(self.per_primitive_calls),
+            "per_primitive_seconds": dict(self.per_primitive_seconds),
+            "per_category_seconds": dict(self.per_category_seconds),
+        }
+
+    def report(self) -> str:
+        """Multi-line text report of the session's activity."""
+        lines = [
+            "EngineStats",
+            f"  calls           {self.calls}",
+            f"  plans compiled  {self.plans_compiled}",
+            f"  cache hits      {self.cache_hits} "
+            f"({self.cache_hit_rate:.1%} hit rate)",
+            f"  batches         {self.batches} ({self.waves} waves)",
+            f"  bytes moved     {self.bytes_moved}",
+            f"  modelled time   {self.modelled_seconds * 1e3:.3f} ms",
+            f"  overlap saved   {self.overlap_saved_seconds * 1e3:.3f} ms",
+        ]
+        if self.per_primitive_calls:
+            lines.append("  per primitive:")
+            for name in sorted(self.per_primitive_calls):
+                seconds = self.per_primitive_seconds.get(name, 0.0)
+                lines.append(f"    {name:<16s} x{self.per_primitive_calls[name]:<5d}"
+                             f" {seconds * 1e3:>10.3f} ms")
+        if self.per_category_seconds:
+            lines.append("  per category:")
+            for category in CATEGORIES:
+                seconds = self.per_category_seconds.get(category)
+                if seconds:
+                    lines.append(f"    {category:<16s} "
+                                 f"{seconds * 1e3:>10.3f} ms")
+        return "\n".join(lines)

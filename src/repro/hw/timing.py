@@ -30,6 +30,7 @@ to the percent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from ..errors import PidCommError
 
@@ -45,6 +46,16 @@ CATEGORIES = (
 COMM_CATEGORIES = (
     "bus", "dt", "host_mem", "host_mod", "host_reduce", "pe", "launch", "mpi",
 )
+
+#: Categories that overlap across *independent* collective instances
+#: submitted together.  Bus bursts and PE-local kernels of one instance
+#: proceed while another instance occupies the host cores (the per-rank
+#: parallelism the paper exploits inside one collective, applied across
+#: instances), and a batched submission pays the host-side launch/sync
+#: once instead of per call.  Host-core-bound categories (``dt``,
+#: ``host_mem``, ``host_mod``, ``host_reduce``) contend for the same
+#: cores and therefore serialize.
+OVERLAPPABLE_CATEGORIES = ("bus", "pe", "launch")
 
 MOD_CLASSES = ("scalar", "local", "simd", "shuffle")
 
@@ -185,6 +196,35 @@ class CostLedger:
         """Accrue all of ``other`` into this ledger."""
         for category, seconds in other.seconds.items():
             self.add(category, seconds)
+
+    @staticmethod
+    def merge_concurrent(ledgers: "Sequence[CostLedger]",
+                         overlappable: tuple[str, ...] = OVERLAPPABLE_CATEGORIES
+                         ) -> "CostLedger":
+        """Combined cost of ledgers whose work runs *concurrently*.
+
+        For categories in ``overlappable`` the slowest instance hides
+        the others (max); every other category serializes (sum).  This
+        is the overlap-aware pricing the batch submitter applies to a
+        wave of data-independent collective instances: bus transfers
+        and PE kernels of different instances occupy disjoint resources
+        (channels / DPUs working on different buffers), while the
+        host-core-bound phases contend and add up.
+
+        Callers are responsible for only merging ledgers that are
+        actually independent; dependent work must be summed with
+        :meth:`merge` instead.
+        """
+        merged = CostLedger()
+        for category in CATEGORIES:
+            values = [lg.seconds.get(category, 0.0) for lg in ledgers]
+            if not any(values):
+                continue
+            if category in overlappable:
+                merged.add(category, max(values))
+            else:
+                merged.add(category, sum(values))
+        return merged
 
     def scaled(self, factor: float) -> "CostLedger":
         """Return a copy with every category multiplied by ``factor``."""

@@ -1,12 +1,16 @@
 """Tests for the public API surface, validation sweep, and CLI."""
 
+import inspect
+
 import numpy as np
 import pytest
 
+import repro
 from repro import (
     ALL_PRIMITIVES,
     BASELINE,
     CommResult,
+    Communicator,
     DimmSystem,
     HypercubeManager,
     PidCommError,
@@ -80,6 +84,148 @@ class TestApiSurface:
         with pytest.raises(PidCommError):
             pidcomm_broadcast(manager, "10", 16, 0,
                               payloads={i: np.arange(1) for i in range(8)})
+
+
+_FULL_REPR = "OptConfig(pe_reorder=True, in_register=True, cross_domain=True)"
+
+#: Snapshot of the exported public API.  A redesign that renames,
+#: drops, or re-types anything here must update this table *and* the
+#: docs -- the point is that it fails loudly, not silently.
+EXPECTED_EXPORTS = {
+    "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
+    "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
+    "Communicator", "CommRequest", "CommResult", "CommFuture",
+    "BatchResult", "PlanCache", "EngineStats",
+    "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",
+    "dtype_by_name", "op_by_name", "PidCommError",
+    "pidcomm_alltoall", "pidcomm_allgather", "pidcomm_reduce_scatter",
+    "pidcomm_allreduce", "pidcomm_scatter", "pidcomm_gather",
+    "pidcomm_reduce", "pidcomm_broadcast",
+}
+
+EXPECTED_LEGACY_SIGNATURES = {
+    "pidcomm_alltoall":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', src_offset: 'int', dst_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+    "pidcomm_allgather":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', src_offset: 'int', dst_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+    "pidcomm_reduce_scatter":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', src_offset: 'int', dst_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        " reduction_type: 'ReduceOp | str' = 'sum',"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+    "pidcomm_allreduce":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', src_offset: 'int', dst_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        " reduction_type: 'ReduceOp | str' = 'sum',"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+    "pidcomm_scatter":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', dst_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        " payloads: 'Mapping[int, np.ndarray] | None' = None,"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+    "pidcomm_gather":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', src_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+    "pidcomm_reduce":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', src_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        " reduction_type: 'ReduceOp | str' = 'sum',"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+    "pidcomm_broadcast":
+        "(manager: 'HypercubeManager', comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', dst_offset: 'int',"
+        " data_type: 'DataType | str' = 'int64',"
+        " payloads: 'Mapping[int, np.ndarray] | None' = None,"
+        f" config: 'OptConfig' = {_FULL_REPR},"
+        " functional: 'bool' = True) -> 'CommResult'",
+}
+
+_SESSION_COMMON = (
+    "(self, comm_dimensions: 'str | Sequence[int]', total_data_size: 'int',"
+    " *, {buffers} data_type: 'DataType | str' = 'int64',{op}"
+    " config: 'OptConfig | None' = None,"
+    " functional: 'bool | None' = None) -> 'CommResult'"
+)
+_SRC_DST = "src_offset: 'int' = 0, dst_offset: 'int' = 0,"
+_OP = " reduction_type: 'ReduceOp | str' = 'sum',"
+_PAYLOADS = ("dst_offset: 'int' = 0,",
+             " payloads: 'Mapping[int, np.ndarray] | None' = None,")
+
+EXPECTED_SESSION_SIGNATURES = {
+    "alltoall": _SESSION_COMMON.format(buffers=_SRC_DST, op=""),
+    "allgather": _SESSION_COMMON.format(buffers=_SRC_DST, op=""),
+    "reduce_scatter": _SESSION_COMMON.format(buffers=_SRC_DST, op=_OP),
+    "allreduce": _SESSION_COMMON.format(buffers=_SRC_DST, op=_OP),
+    "gather": _SESSION_COMMON.format(buffers="src_offset: 'int' = 0,", op=""),
+    "reduce": _SESSION_COMMON.format(buffers="src_offset: 'int' = 0,",
+                                     op=_OP),
+    "scatter": (
+        "(self, comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', *, dst_offset: 'int' = 0,"
+        " data_type: 'DataType | str' = 'int64',"
+        " payloads: 'Mapping[int, np.ndarray] | None' = None,"
+        " config: 'OptConfig | None' = None,"
+        " functional: 'bool | None' = None) -> 'CommResult'"),
+    "broadcast": (
+        "(self, comm_dimensions: 'str | Sequence[int]',"
+        " total_data_size: 'int', *, dst_offset: 'int' = 0,"
+        " data_type: 'DataType | str' = 'int64',"
+        " payloads: 'Mapping[int, np.ndarray] | None' = None,"
+        " config: 'OptConfig | None' = None,"
+        " functional: 'bool | None' = None) -> 'CommResult'"),
+    "submit": ("(self, requests: 'Sequence[CommRequest]',"
+               " functional: 'bool | None' = None) -> 'BatchResult'"),
+}
+
+
+class TestApiSnapshot:
+    """Exported names + signatures, pinned so redesigns fail loudly."""
+
+    def test_exported_names_match_snapshot(self):
+        assert set(repro.__all__) == EXPECTED_EXPORTS
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing {name}"
+
+    def test_legacy_signatures_match_snapshot(self):
+        for name, expected in EXPECTED_LEGACY_SIGNATURES.items():
+            actual = str(inspect.signature(getattr(repro, name)))
+            assert actual == expected, f"{name} signature drifted:\n{actual}"
+
+    def test_session_signatures_match_snapshot(self):
+        for name, expected in EXPECTED_SESSION_SIGNATURES.items():
+            actual = str(inspect.signature(getattr(Communicator, name)))
+            assert actual == expected, (
+                f"Communicator.{name} signature drifted:\n{actual}")
+
+    def test_session_buffer_arguments_keyword_only(self):
+        # The redesign's contract: offsets and payloads never positional.
+        for name in ("alltoall", "allgather", "reduce_scatter", "allreduce",
+                     "scatter", "gather", "reduce", "broadcast"):
+            sig = inspect.signature(getattr(Communicator, name))
+            for pname in ("src_offset", "dst_offset", "payloads"):
+                if pname in sig.parameters:
+                    assert (sig.parameters[pname].kind
+                            is inspect.Parameter.KEYWORD_ONLY), (
+                        f"Communicator.{name}({pname}) must be keyword-only")
 
 
 class TestValidationSweep:
