@@ -55,14 +55,24 @@ from .engine import (
 )
 from .errors import PidCommError
 from .hw import DimmGeometry, DimmSystem, MachineParams
+from .reliability import (
+    FAIL_FAST,
+    FaultInjector,
+    FaultSpec,
+    RELIABLE,
+    ReliabilityPolicy,
+    RetryPolicy,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
     "Communicator", "CommRequest", "CommResult", "CommFuture",
     "BatchResult", "PlanCache", "EngineStats",
+    "FaultInjector", "FaultSpec", "RetryPolicy", "ReliabilityPolicy",
+    "RELIABLE", "FAIL_FAST",
     "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",
     "dtype_by_name", "op_by_name", "PidCommError",
     "pidcomm_alltoall", "pidcomm_allgather", "pidcomm_reduce_scatter",

@@ -97,6 +97,9 @@ class WaveTrace:
     labels: list[str]
     ledger: CostLedger
     serial_seconds: float
+    #: Extra executions the reliability layer spent in this wave
+    #: (sum of ``result.attempts - 1`` over the wave's requests).
+    retries: int = 0
 
     @property
     def seconds(self) -> float:
@@ -112,10 +115,15 @@ class WaveTrace:
 def trace_batch(batch: BatchResult) -> list[WaveTrace]:
     """Per-wave priced records of a submitted batch."""
     labels = {future.index: future.label for future in batch.futures}
+    attempts = {future.index: (future.result().attempts
+                               if future.done() else 1)
+                for future in batch.futures}
     return [WaveTrace(index=cost.index,
                       labels=[labels[i] for i in cost.request_indices],
                       ledger=cost.ledger,
-                      serial_seconds=cost.serial_seconds)
+                      serial_seconds=cost.serial_seconds,
+                      retries=sum(attempts[i] - 1
+                                  for i in cost.request_indices))
             for cost in batch.wave_costs]
 
 
@@ -138,9 +146,39 @@ def render_batch_timeline(batch: BatchResult) -> str:
         members = " + ".join(t.labels)
         saved = (f"  (hides {t.overlap_saved * 1e3:.3f} ms)"
                  if t.overlap_saved > 0 else "")
+        retried = f"  [{t.retries} retries]" if t.retries else ""
         lines.append(f"wave {t.index} |{t.seconds * 1e3:>9.3f} ms  "
                      f"{_bar(t.seconds, longest):<{_BAR_WIDTH}s} "
-                     f"{members}{saved}")
+                     f"{members}{saved}{retried}")
+    return "\n".join(lines)
+
+
+def render_reliability(stats) -> str:
+    """Render an :class:`~repro.engine.stats.EngineStats` reliability block.
+
+    Example::
+
+        Reliability(12 faults over 40 calls)
+        retries      9   (0.900 ms backing off)
+        degradations 1
+        bit_flip     |  7  #######
+        timeout      |  4  ####
+        rank_failure |  1  #
+    """
+    total = stats.total_faults
+    if not (total or stats.retries or stats.degradations):
+        return "Reliability(no faults observed)"
+    lines = [f"Reliability({total} faults over {stats.calls} calls)",
+             f"retries      {stats.retries}   "
+             f"({stats.backoff_seconds * 1e3:.3f} ms backing off)",
+             f"degradations {stats.degradations}"]
+    if stats.faults_seen:
+        longest = max(stats.faults_seen.values())
+        width = max(len(k) for k in stats.faults_seen)
+        for kind in sorted(stats.faults_seen):
+            count = stats.faults_seen[kind]
+            lines.append(f"{kind:<{width}s} |{count:>3d}  "
+                         f"{_bar(count, longest, width=20)}")
     return "\n".join(lines)
 
 

@@ -164,13 +164,12 @@ class AppHarness:
             total_data_size=total_data_size, src_offset=src, dst_offset=dst,
             dtype=dtype.name,
             op=op.name if primitive in ARITHMETIC_PRIMITIVES else None,
-            variant=self.backend.name)
-        hits_before = self.cache.hits
-        plan = self.cache.get_or_build(
+            variant=self.backend.name,
+            topology=self.manager.topology_signature())
+        return self.cache.fetch(
             key, lambda: self.backend.build_plan(
                 primitive, self.manager, dims, total_data_size, src, dst,
                 dtype, op, None))
-        return plan, self.cache.hits > hits_before
 
     def _account(self, primitive: str, plan: CommPlan, ledger: CostLedger,
                  cached: bool) -> None:

@@ -34,6 +34,7 @@ import numpy as np
 from ...dtypes import DataType, ReduceOp
 from ...errors import CollectiveError, TransferError
 from ...hw import domain
+from ...reliability.checksum import guarded_delivery
 from ...hw.host import REGISTER_BYTES, rotate_lanes_registerwise
 from ...hw.pe import wram_permute_chunks
 from ...hw.system import DimmSystem
@@ -130,6 +131,11 @@ class PeReorderStep(Step):
     nslots: int
 
     def apply(self, ctx: ExecContext) -> None:
+        injector = ctx.system.fault_injector
+        if injector is not None:
+            # A reorder is a real per-DPU kernel launch: it can hang.
+            injector.guard_pes(ctx.system.geometry, union_pes(self.groups))
+            injector.take_timeout("reorder kernel launch")
         for group in self.groups:
             for rank, pe in enumerate(group.pe_ids):
                 mem = ctx.system.memory(pe)
@@ -547,11 +553,17 @@ class BroadcastStep(Step):
         if payloads is None:
             raise CollectiveError(
                 "functional broadcast needs payloads or a scratch key")
+        injector = ctx.system.fault_injector
         for group in self.groups:
             buf = np.asarray(payloads[group.instance], dtype=np.uint8)
             if buf.size != self.nbytes:
                 raise TransferError(
                     f"broadcast payload of {buf.size}B, expected {self.nbytes}B")
+            if injector is not None:
+                injector.guard_pes(ctx.system.geometry, group.pe_ids)
+                # One domain-transferred image serves every PE, so the
+                # whole fan-out is one checksummed delivery.
+                buf = guarded_delivery(injector, buf, "broadcast")
             for pe in group.pe_ids:
                 ctx.system.memory(pe).write(self.dst_offset, buf)
 
@@ -637,7 +649,9 @@ class LaunchStep(Step):
     count: int = 1
 
     def apply(self, ctx: ExecContext) -> None:
-        return None
+        injector = ctx.system.fault_injector
+        if injector is not None:
+            injector.take_timeout("collective launch")
 
     def cost(self, system: DimmSystem) -> CostLedger:
         ledger = CostLedger()

@@ -90,6 +90,21 @@ def slice_groups(manager: HypercubeManager,
     return groups
 
 
+def member_pes(manager: HypercubeManager,
+               dims: str | Sequence[int]) -> tuple[int, ...]:
+    """All PEs participating in a collective over ``dims``, sorted.
+
+    Every hypercube node joins exactly one instance, so this is simply
+    the manager's full membership -- but routed through the slicing so
+    the reliability layer's snapshots stay correct if partial slicing
+    is ever introduced.
+    """
+    seen: set[int] = set()
+    for group in slice_groups(manager, dims):
+        seen.update(group.pe_ids)
+    return tuple(sorted(seen))
+
+
 def group_size(manager: HypercubeManager, dims: str | Sequence[int]) -> int:
     """Size of each communication group for the selected dimensions."""
     selected = resolve_dims(manager, dims)

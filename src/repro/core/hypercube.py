@@ -129,6 +129,10 @@ class HypercubeManager:
             the last must be powers of two.
         base_pe: First physical PE to use (PEs are assigned in linear
             id order, i.e. chip -> bank -> rank -> channel).
+        pe_map: Explicit node -> physical-PE table overriding the
+            contiguous identity mapping.  Used by degraded (remapped)
+            cubes after a permanent rank failure; ``base_pe`` is
+            ignored when given.
 
     The identity ``virtual node i  <->  physical PE (base_pe + i)``
     realizes the paper's mapping because both orders are "fastest at
@@ -137,9 +141,26 @@ class HypercubeManager:
     """
 
     def __init__(self, system: DimmSystem, shape: Sequence[int],
-                 base_pe: int = 0) -> None:
+                 base_pe: int = 0,
+                 pe_map: Sequence[int] | None = None) -> None:
         self.system = system
         self.shape = HypercubeShape(tuple(shape))
+        if pe_map is not None:
+            pes = tuple(int(pe) for pe in pe_map)
+            if len(pes) != self.shape.num_nodes:
+                raise HypercubeError(
+                    f"pe_map has {len(pes)} entries for a "
+                    f"{self.shape.num_nodes}-node hypercube")
+            if len(set(pes)) != len(pes):
+                raise HypercubeError("pe_map entries must be distinct")
+            for pe in pes:
+                system.geometry._check_pe(pe)
+            self._pe_map: tuple[int, ...] | None = pes
+            self._node_of_pe = {pe: node for node, pe in enumerate(pes)}
+            self.base_pe = min(pes)
+            return
+        self._pe_map = None
+        self._node_of_pe = None
         if base_pe < 0:
             raise HypercubeError(f"base_pe must be >= 0, got {base_pe}")
         if base_pe % system.geometry.chips_per_rank:
@@ -169,10 +190,18 @@ class HypercubeManager:
         if not 0 <= node_index < self.num_nodes:
             raise HypercubeError(
                 f"node {node_index} outside [0, {self.num_nodes})")
+        if self._pe_map is not None:
+            return self._pe_map[node_index]
         return self.base_pe + node_index
 
     def node_of_pe(self, pe_id: int) -> int:
         """Virtual node index of a physical PE."""
+        if self._pe_map is not None:
+            node = self._node_of_pe.get(pe_id)
+            if node is None:
+                raise HypercubeError(
+                    f"PE {pe_id} is not part of this hypercube")
+            return node
         node = pe_id - self.base_pe
         if not 0 <= node < self.num_nodes:
             raise HypercubeError(
@@ -190,7 +219,50 @@ class HypercubeManager:
     @cached_property
     def all_pes(self) -> tuple[int, ...]:
         """All member PEs in virtual-node order."""
+        if self._pe_map is not None:
+            return self._pe_map
         return tuple(range(self.base_pe, self.base_pe + self.num_nodes))
+
+    # ------------------------------------------------------------------
+    # Reliability: identity and degradation
+    # ------------------------------------------------------------------
+    def topology_signature(self) -> tuple:
+        """Hashable identity of the virtual -> physical mapping.
+
+        Two managers share a signature iff every node lands on the same
+        physical PE, so plan-cache keys carrying it can never alias a
+        healthy cube's plans with a degraded (remapped) cube's plans.
+        """
+        if self._pe_map is not None:
+            return (self.shape.dims, self._pe_map)
+        return (self.shape.dims, self.base_pe)
+
+    def without_pes(self, dead_pes: Sequence[int]) -> "HypercubeManager":
+        """Remap onto the surviving PEs after a permanent failure.
+
+        The shape shrinks by repeatedly halving the largest halvable
+        dimension until the node count fits the survivors (keeping the
+        power-of-two constraints intact), and the surviving PEs fill
+        the shrunk cube in id order -- survivors of whole live ranks
+        stay entangled-group aligned, so burst bandwidth is preserved.
+        Raises :class:`HypercubeError` when no dimension can shrink far
+        enough (e.g. every rank is dead).
+        """
+        dead = set(int(pe) for pe in dead_pes)
+        survivors = [pe for pe in self.all_pes if pe not in dead]
+        if not survivors:
+            raise HypercubeError("no surviving PEs to remap onto")
+        dims = list(self.shape.dims)
+        while prod(dims) > len(survivors):
+            halvable = [i for i, d in enumerate(dims) if d > 1 and d % 2 == 0]
+            if not halvable:
+                raise HypercubeError(
+                    f"cannot shrink {self.shape} onto {len(survivors)} "
+                    f"surviving PEs")
+            widest = max(halvable, key=lambda i: dims[i])
+            dims[widest] //= 2
+        return HypercubeManager(self.system, dims,
+                                pe_map=tuple(survivors[: prod(dims)]))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -198,6 +270,9 @@ class HypercubeManager:
     def describe(self) -> str:
         """Human-readable mapping summary."""
         geom = self.system.geometry
+        if self._pe_map is not None:
+            return (f"hypercube {self.shape} remapped onto "
+                    f"{self.num_nodes} PEs of {geom.describe()}")
         return (f"hypercube {self.shape} on PEs "
                 f"[{self.base_pe}, {self.base_pe + self.num_nodes}) of "
                 f"{geom.describe()}")

@@ -51,25 +51,47 @@ class PlanCache:
     def __contains__(self, key: PlanKey) -> bool:
         return key in self._plans
 
-    def get_or_build(self, key: PlanKey,
-                     builder: Callable[[], CommPlan]) -> CommPlan:
-        """Return the cached plan for ``key``, compiling on first use."""
+    def fetch(self, key: PlanKey,
+              builder: Callable[[], CommPlan]) -> tuple[CommPlan, bool]:
+        """Cached plan for ``key`` plus whether it was a hit.
+
+        The flag refers to *this* lookup, so callers no longer have to
+        infer it by differencing the global ``hits`` counter -- a
+        race-of-meaning that breaks as soon as ``builder`` performs a
+        nested lookup of its own.
+        """
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
             self._plans.move_to_end(key)
-            return plan
+            return plan, True
         self.misses += 1
         plan = builder()
         self._plans[key] = plan
         if self.maxsize is not None and len(self._plans) > self.maxsize:
             self._plans.popitem(last=False)
+        return plan, False
+
+    def get_or_build(self, key: PlanKey,
+                     builder: Callable[[], CommPlan]) -> CommPlan:
+        """Return the cached plan for ``key``, compiling on first use."""
+        plan, _ = self.fetch(key, builder)
         return plan
 
     @property
+    def lookups(self) -> int:
+        """Total lookups performed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when unused)."""
-        lookups = self.hits + self.misses
+        """Fraction of lookups served from cache.
+
+        Defined as 0.0 for a fresh (zero-lookup) cache, so sessions can
+        report statistics before their first collective without a
+        division hazard.
+        """
+        lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
     def clear(self) -> None:

@@ -42,15 +42,25 @@ from ..core.collectives import (
     plan_reduce_scatter,
     plan_scatter,
 )
+from ..core.groups import member_pes
 from ..core.hypercube import HypercubeManager
 from ..dtypes import DataType, ReduceOp
-from ..errors import CollectiveError
+from ..errors import (
+    CollectiveError,
+    FaultBudgetExceeded,
+    RankFailure,
+    TransientFault,
+)
 from ..hw.timing import CostLedger
+from ..reliability import FaultInjector, RELIABLE, ReliabilityPolicy
 from .cache import PlanCache, bind_payloads
 from .request import CommRequest, NormalizedRequest
 from .result import BatchResult, CommFuture, CommResult, reduced_vector
 from .scheduler import price_waves, schedule_waves
 from .stats import EngineStats
+
+#: One PE's saved MRAM intervals: ``(pe_id, offset, bytes)`` records.
+_Snapshot = list[tuple[int, int, np.ndarray]]
 
 
 class Communicator:
@@ -62,26 +72,39 @@ class Communicator:
         functional: Whether calls move real bytes (False = analytic
             pricing only); overridable per call and per batch.
         cache_size: Plan-cache bound (None = unbounded).
+        reliability: Retry/degradation policy.  Defaults to
+            :data:`~repro.reliability.RELIABLE` when a fault injector
+            is supplied, else None (faults propagate to the caller).
+        fault_injector: Attached to the manager's system so every
+            transfer and launch consults it (``docs/reliability.md``).
     """
 
     def __init__(self, manager: HypercubeManager,
                  config: OptConfig = FULL, functional: bool = True,
-                 cache_size: int | None = None) -> None:
+                 cache_size: int | None = None,
+                 reliability: ReliabilityPolicy | None = None,
+                 fault_injector: FaultInjector | None = None) -> None:
         self.manager = manager
         self.config = config
         self.functional = functional
         self.cache = PlanCache(maxsize=cache_size)
         self.stats = EngineStats()
+        if fault_injector is not None:
+            manager.system.attach_fault_injector(fault_injector)
+            if reliability is None:
+                reliability = RELIABLE
+        self.reliability = reliability
+        #: True once a permanent rank failure forced a remap; every
+        #: later result reports it ran on the degraded cube.
+        self.degraded = False
 
     # ------------------------------------------------------------------
     # Engine internals
     # ------------------------------------------------------------------
     def _compile(self, req: NormalizedRequest) -> tuple[CommPlan, bool]:
         """Cached plan for ``req`` (payload-free); returns (plan, hit)."""
-        hits_before = self.cache.hits
-        plan = self.cache.get_or_build(req.plan_key,
-                                       lambda: self._build_plan(req))
-        return plan, self.cache.hits > hits_before
+        return self.cache.fetch(req.plan_key,
+                                lambda: self._build_plan(req))
 
     def _build_plan(self, req: NormalizedRequest) -> CommPlan:
         m, dims, size = self.manager, req.dims, req.total_data_size
@@ -112,24 +135,146 @@ class Communicator:
                 and req.payloads is None:
             raise CollectiveError(
                 f"functional {req.primitive} needs payloads")
+        if self.reliability is not None:
+            return self._run_reliable(req, functional)
         plan, hit = self._compile(req)
         bound = bind_payloads(plan, req.payloads if functional else None)
         ledger, ctx = bound.run(self.manager.system, functional=functional)
-        host_outputs = None
-        if ctx is not None:
-            if req.primitive == "gather":
-                outputs = ctx.scratch.get(GATHER_SCRATCH)
-                host_outputs = {
-                    inst: buf.view(req.dtype.np_dtype)
-                    for inst, buf in outputs.items()}
-            elif req.primitive == "reduce":
-                outputs = ctx.scratch.get(REDUCE_SCRATCH)
-                host_outputs = {
-                    inst: reduced_vector(buf, req.dtype)
-                    for inst, buf in outputs.items()}
+        host_outputs = self._host_outputs(req, ctx)
         self.stats.record_call(req.primitive, plan, ledger, cached=hit)
         return CommResult(plan=bound, ledger=ledger,
                           host_outputs=host_outputs, cached=hit)
+
+    def _host_outputs(self, req: NormalizedRequest,
+                      ctx) -> dict[int, np.ndarray] | None:
+        """Extract rooted-primitive outputs from an execution context."""
+        if ctx is None:
+            return None
+        if req.primitive == "gather":
+            outputs = ctx.scratch.get(GATHER_SCRATCH)
+            return {inst: buf.view(req.dtype.np_dtype)
+                    for inst, buf in outputs.items()}
+        if req.primitive == "reduce":
+            outputs = ctx.scratch.get(REDUCE_SCRATCH)
+            return {inst: reduced_vector(buf, req.dtype)
+                    for inst, buf in outputs.items()}
+        return None
+
+    # ------------------------------------------------------------------
+    # Reliability: snapshot/restore, retry, degradation
+    # ------------------------------------------------------------------
+    def _snapshot(self, req: NormalizedRequest) -> _Snapshot:
+        """Save the MRAM intervals ``req`` touches, on every member PE.
+
+        Reads go straight through :class:`~repro.hw.memory.PeMemory`,
+        below the fault injector, so snapshots are always exact.
+        """
+        spans = sorted(set(req.footprint().reads + req.footprint().writes))
+        saved: _Snapshot = []
+        system = self.manager.system
+        for pe in member_pes(self.manager, req.dims):
+            for offset, nbytes in spans:
+                saved.append((pe, offset, system.memory(pe).read(offset,
+                                                                 nbytes)))
+        return saved
+
+    def _restore(self, snapshot: _Snapshot) -> None:
+        """Rewind MRAM to a snapshot (also injector-free, always exact)."""
+        system = self.manager.system
+        for pe, offset, data in snapshot:
+            system.memory(pe).write(offset, data)
+
+    def _renormalize(self, req: NormalizedRequest) -> NormalizedRequest:
+        """Re-resolve a request against the (remapped) current manager."""
+        return CommRequest(
+            req.primitive, req.dims, req.total_data_size,
+            src_offset=req.src_offset, dst_offset=req.dst_offset,
+            data_type=req.dtype, reduction_type=req.op,
+            payloads=req.payloads, config=req.config,
+            tag=req.tag).normalize(self.manager, self.config)
+
+    def _run_reliable(self, req: NormalizedRequest,
+                      functional: bool) -> CommResult:
+        """Execute with whole-collective retry and graceful degradation.
+
+        Each attempt snapshots the request's footprint first (in-place
+        primitives permute their source region, so a blind re-execution
+        after a mid-plan fault would start from corrupted state), prices
+        itself into the accumulated ledger, and on a transient fault
+        rewinds, backs off (charged to the ``"retry"`` category), and
+        tries again until the policy's attempt cap or fault budget is
+        spent.  A permanent rank failure instead remaps the hypercube
+        onto the survivors and replans -- the topology signature in the
+        cache key keeps degraded plans apart from healthy ones.
+        """
+        policy = self.reliability.retry
+        total = CostLedger()
+        faults: list[str] = []
+        backoff_total = 0.0
+        degraded_now = False
+        attempts = 0
+        failures = 0
+        snapshot = self._snapshot(req) if functional else None
+        while True:
+            attempts += 1
+            plan, hit = self._compile(req)
+            bound = bind_payloads(plan,
+                                  req.payloads if functional else None)
+            total.merge(bound.estimate(self.manager.system))
+            try:
+                ctx = bound.execute(self.manager.system) \
+                    if functional else None
+            except TransientFault as fault:
+                faults.append(fault.kind)
+                self.stats.record_fault(fault.kind)
+                failures += 1
+                if len(faults) > policy.fault_budget:
+                    raise FaultBudgetExceeded(
+                        f"{req.primitive} hit {len(faults)} faults "
+                        f"({', '.join(faults)}); budget is "
+                        f"{policy.fault_budget}") from fault
+                if attempts >= policy.max_attempts:
+                    raise FaultBudgetExceeded(
+                        f"{req.primitive} failed {attempts} attempts "
+                        f"(max {policy.max_attempts}); faults: "
+                        f"{', '.join(faults)}") from fault
+                delay = policy.backoff(failures)
+                backoff_total += delay
+                total.add("retry", delay)
+                if snapshot is not None:
+                    self._restore(snapshot)
+                continue
+            except RankFailure as fault:
+                faults.append(fault.kind)
+                self.stats.record_fault(fault.kind)
+                if not self.reliability.degrade_on_rank_failure:
+                    raise
+                if attempts >= policy.max_attempts:
+                    raise FaultBudgetExceeded(
+                        f"{req.primitive} failed {attempts} attempts "
+                        f"(max {policy.max_attempts}); faults: "
+                        f"{', '.join(faults)}") from fault
+                if snapshot is not None:
+                    self._restore(snapshot)
+                injector = self.manager.system.fault_injector
+                dead = (injector.failed_pes(self.manager.system.geometry)
+                        if injector is not None else fault.pe_ids)
+                self.manager = self.manager.without_pes(dead)
+                self.degraded = True
+                degraded_now = True
+                req = self._renormalize(req)
+                snapshot = self._snapshot(req) if functional else None
+                continue
+            host_outputs = self._host_outputs(req, ctx)
+            self.stats.record_call(req.primitive, plan, total, cached=hit,
+                                   attempts=attempts,
+                                   backoff_s=backoff_total,
+                                   degraded=degraded_now)
+            return CommResult(plan=bound, ledger=total,
+                              host_outputs=host_outputs, cached=hit,
+                              attempts=attempts,
+                              faults_seen=tuple(faults),
+                              degraded=self.degraded)
 
     def _call(self, request: CommRequest,
               functional: bool | None) -> CommResult:

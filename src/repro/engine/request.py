@@ -85,6 +85,7 @@ class CommRequest:
             dst_offset=int(self.dst_offset), dtype=dtype, op=op,
             config=self.config if self.config is not None else default_config,
             group_size=group_size(manager, dims),
+            topology=manager.topology_signature(),
             payloads=self.payloads, tag=self.tag)
 
 
@@ -101,6 +102,10 @@ class NormalizedRequest:
     op: ReduceOp
     config: OptConfig
     group_size: int
+    #: The manager's :meth:`topology_signature` at normalization time.
+    #: Folded into the cache key so plans compiled for a degraded
+    #: (remapped) cube never alias the healthy cube's plans.
+    topology: Any = None
     payloads: Mapping[int, np.ndarray] | None = None
     tag: str | None = None
 
@@ -114,7 +119,7 @@ class NormalizedRequest:
                        src_offset=self.src_offset,
                        dst_offset=self.dst_offset,
                        dtype=self.dtype.name, op=op_name,
-                       variant=self.config)
+                       variant=self.config, topology=self.topology)
 
     def describe(self) -> str:
         """Short label for traces and futures."""
@@ -167,7 +172,9 @@ class PlanKey:
     ``variant`` distinguishes plan-shaping context beyond the request
     itself: the :class:`OptConfig` for PID-Comm plans, or a backend
     name for the application harness (whose baseline backend compiles
-    different flows for the same request).
+    different flows for the same request).  ``topology`` carries the
+    manager's virtual -> physical mapping signature; degraded cubes
+    (post rank failure) therefore key separately from healthy ones.
     """
 
     primitive: str
@@ -178,6 +185,7 @@ class PlanKey:
     dtype: str
     op: str | None
     variant: Any
+    topology: Any = None
 
 
 def _overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:

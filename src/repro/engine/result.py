@@ -37,6 +37,13 @@ class CommResult:
     host_outputs: dict[int, np.ndarray] | None = None
     #: True when the plan came from the engine's compilation cache.
     cached: bool = False
+    #: Executions attempted before the collective completed (> 1 means
+    #: the reliability layer retried after injected/transient faults).
+    attempts: int = 1
+    #: Fault kinds observed across all attempts, in occurrence order.
+    faults_seen: tuple[str, ...] = ()
+    #: True when the collective ran on a degraded (remapped) hypercube.
+    degraded: bool = False
 
     @property
     def seconds(self) -> float:
@@ -59,6 +66,12 @@ class CommResult:
             parts.append(f"{len(self.host_outputs)} host outputs")
         if self.cached:
             parts.append("cached plan")
+        if self.attempts > 1:
+            parts.append(f"{self.attempts} attempts")
+        if self.faults_seen:
+            parts.append(f"faults: {','.join(self.faults_seen)}")
+        if self.degraded:
+            parts.append("degraded")
         return ", ".join(parts) + ")"
 
 

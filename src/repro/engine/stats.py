@@ -45,6 +45,11 @@ class EngineStats:
     per_primitive_calls: dict[str, int] = field(default_factory=dict)
     per_primitive_seconds: dict[str, float] = field(default_factory=dict)
     per_category_seconds: dict[str, float] = field(default_factory=dict)
+    # Reliability counters (all zero unless a fault injector is active).
+    retries: int = 0
+    faults_seen: dict[str, int] = field(default_factory=dict)
+    degradations: int = 0
+    backoff_seconds: float = 0.0
 
     @property
     def cache_misses(self) -> int:
@@ -60,9 +65,16 @@ class EngineStats:
     # Recording
     # ------------------------------------------------------------------
     def record_call(self, primitive: str, plan: CommPlan,
-                    ledger: CostLedger, cached: bool) -> None:
+                    ledger: CostLedger, cached: bool, *,
+                    attempts: int = 1, backoff_s: float = 0.0,
+                    degraded: bool = False) -> None:
         """Account one collective invocation."""
         self.calls += 1
+        if attempts > 1:
+            self.retries += attempts - 1
+        self.backoff_seconds += backoff_s
+        if degraded:
+            self.degradations += 1
         if cached:
             self.cache_hits += 1
         else:
@@ -76,6 +88,15 @@ class EngineStats:
         for category, seconds in ledger.seconds.items():
             self.per_category_seconds[category] = (
                 self.per_category_seconds.get(category, 0.0) + seconds)
+
+    def record_fault(self, kind: str) -> None:
+        """Account one observed fault (by kind, e.g. ``"bit_flip"``)."""
+        self.faults_seen[kind] = self.faults_seen.get(kind, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        """Faults observed across every kind."""
+        return sum(self.faults_seen.values())
 
     def record_batch(self, waves: int, serial_seconds: float,
                      overlapped_seconds: float) -> None:
@@ -103,6 +124,10 @@ class EngineStats:
             "per_primitive_calls": dict(self.per_primitive_calls),
             "per_primitive_seconds": dict(self.per_primitive_seconds),
             "per_category_seconds": dict(self.per_category_seconds),
+            "retries": self.retries,
+            "faults_seen": dict(self.faults_seen),
+            "degradations": self.degradations,
+            "backoff_seconds": self.backoff_seconds,
         }
 
     def report(self) -> str:
@@ -131,4 +156,13 @@ class EngineStats:
                 if seconds:
                     lines.append(f"    {category:<16s} "
                                  f"{seconds * 1e3:>10.3f} ms")
+        if self.retries or self.faults_seen or self.degradations:
+            lines.append("  reliability:")
+            lines.append(f"    retries         {self.retries}")
+            lines.append(f"    backoff         "
+                         f"{self.backoff_seconds * 1e3:.3f} ms")
+            lines.append(f"    degradations    {self.degradations}")
+            for kind in sorted(self.faults_seen):
+                lines.append(f"    fault {kind:<10s} "
+                             f"x{self.faults_seen[kind]}")
         return "\n".join(lines)

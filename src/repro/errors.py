@@ -34,3 +34,55 @@ class TransferError(PidCommError):
 
 class AppError(PidCommError):
     """Benchmark application configuration or execution error."""
+
+
+class ReliabilityError(PidCommError):
+    """Base class for fault-injection and recovery errors."""
+
+    #: Machine-readable fault class (overridden by subclasses).
+    kind = "reliability"
+
+
+class TransientFault(ReliabilityError):
+    """A retryable fault: retrying the operation may succeed."""
+
+    kind = "transient"
+
+
+class ChecksumError(TransientFault):
+    """Transfer integrity check failed (in-flight corruption detected)."""
+
+    kind = "bit_flip"
+
+
+class TransferDropped(TransientFault):
+    """A transfer was dropped (possibly after a partial delivery)."""
+
+    kind = "drop"
+
+
+class LaunchTimeout(TransientFault):
+    """A kernel launch hung past its deadline and was aborted."""
+
+    kind = "timeout"
+
+
+class RankFailure(ReliabilityError):
+    """A rank failed permanently; retrying cannot succeed.
+
+    Recovery requires remapping the virtual hypercube onto the
+    surviving ranks (see ``HypercubeManager.without_pes``).
+    """
+
+    kind = "rank_failure"
+
+    def __init__(self, message: str, pe_ids: tuple = ()) -> None:
+        super().__init__(message)
+        #: The dead PEs the failed operation touched.
+        self.pe_ids = tuple(pe_ids)
+
+
+class FaultBudgetExceeded(ReliabilityError):
+    """A request burned through its retry/fault budget without succeeding."""
+
+    kind = "budget"

@@ -16,13 +16,18 @@ modelled cost of the call, priced exactly like the plan steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from ..errors import AllocationError, TransferError
+from ..errors import AllocationError, TransferDropped, TransferError
+from ..reliability.checksum import guarded_delivery
+from ..reliability.faults import partial_prefix
 from .system import DimmSystem
 from .timing import CostLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultInjector
 
 #: Transfer directions, named after the SDK's enum.
 XFER_TO_DPU = "to_dpu"
@@ -55,12 +60,36 @@ class DpuRankSet:
 
 
 class DpuDriver:
-    """Rank allocation + transfers + launches (the SDK's host API)."""
+    """Rank allocation + transfers + launches (the SDK's host API).
 
-    def __init__(self, system: DimmSystem) -> None:
+    Args:
+        system: The simulated substrate.
+        fault_injector: Optional fault source for this driver; when
+            omitted, the system's attached injector (if any) applies.
+            Every transfer is checksum-verified end to end, so injected
+            in-flight corruption raises
+            :class:`~repro.errors.ChecksumError` instead of landing.
+    """
+
+    def __init__(self, system: DimmSystem,
+                 fault_injector: "FaultInjector | None" = None) -> None:
         self.system = system
         self._allocated: set[int] = set()
         self.ledger = CostLedger()
+        self._fault_injector = fault_injector
+
+    @property
+    def fault_injector(self) -> "FaultInjector | None":
+        """This driver's fault source (its own, else the system's)."""
+        if self._fault_injector is not None:
+            return self._fault_injector
+        return self.system.fault_injector
+
+    def _guard(self, pes: Sequence[int]) -> "FaultInjector | None":
+        injector = self.fault_injector
+        if injector is not None:
+            injector.guard_pes(self.system.geometry, pes)
+        return injector
 
     # ------------------------------------------------------------------
     # Allocation (dpu_alloc / dpu_free)
@@ -93,6 +122,8 @@ class DpuDriver:
         """``dpu_copy_to``: one buffer to one DPU of the set."""
         buf = self._as_bytes(data)
         pe = dpu_set.pe_ids[pe_index]
+        injector = self._guard([pe])
+        buf = guarded_delivery(injector, buf, "dpu_copy_to")
         self.system.memory(pe).write(offset, buf)
         return self._charge_transfer([pe], buf.size, domain_transfer=True)
 
@@ -100,7 +131,9 @@ class DpuDriver:
                   nbytes: int) -> np.ndarray:
         """``dpu_copy_from``: one buffer back from one DPU."""
         pe = dpu_set.pe_ids[pe_index]
+        injector = self._guard([pe])
         data = self.system.memory(pe).read(offset, nbytes)
+        data = guarded_delivery(injector, data, "dpu_copy_from")
         self._charge_transfer([pe], nbytes, domain_transfer=True)
         return data
 
@@ -116,6 +149,7 @@ class DpuDriver:
         library to disable automatic domain transfer").
         """
         pes = dpu_set.pe_ids
+        injector = self._guard(pes)
         if direction == XFER_TO_DPU:
             if buffers is None or len(buffers) != len(pes):
                 raise TransferError(
@@ -125,6 +159,19 @@ class DpuDriver:
             sizes = {b.size for b in bufs}
             if len(sizes) != 1:
                 raise TransferError("push_xfer buffers must be equal-sized")
+            if injector is not None:
+                if injector.take_drop():
+                    # Partial rank-batched transfer: a prefix of the
+                    # DPUs receives its buffer before the batch aborts.
+                    reached = partial_prefix(list(pes))
+                    for pe, buf in zip(reached, bufs):
+                        self.system.memory(pe).write(offset, buf)
+                    raise TransferDropped(
+                        f"push_xfer to_dpu dropped after "
+                        f"{len(reached)}/{len(pes)} DPUs")
+                stacked = guarded_delivery(injector, np.stack(bufs),
+                                           "push_xfer to_dpu", drop=False)
+                bufs = list(stacked)
             for pe, buf in zip(pes, bufs):
                 self.system.memory(pe).write(offset, buf)
             seconds = self._charge_transfer(pes, sizes.pop() * len(pes),
@@ -134,6 +181,10 @@ class DpuDriver:
             if nbytes is None:
                 raise TransferError("push_xfer from_dpu needs nbytes")
             out = [self.system.memory(pe).read(offset, nbytes) for pe in pes]
+            if injector is not None:
+                stacked = guarded_delivery(injector, np.stack(out),
+                                           "push_xfer from_dpu")
+                out = [row for row in stacked]
             self._charge_transfer(pes, nbytes * len(pes), domain_transfer)
             return out
         raise TransferError(f"unknown direction {direction!r}")
@@ -144,6 +195,8 @@ class DpuDriver:
         one domain transfer serves all copies)."""
         buf = self._as_bytes(data)
         pes = dpu_set.pe_ids
+        injector = self._guard(pes)
+        buf = guarded_delivery(injector, buf, "dpu_broadcast_to")
         for pe in pes:
             self.system.memory(pe).write(offset, buf)
         params = self.system.params
@@ -168,6 +221,9 @@ class DpuDriver:
         modelled cost is the launch overhead -- compute time is the
         kernel author's to account (see ``repro/hw/kernels.py``).
         """
+        injector = self._guard(dpu_set.pe_ids)
+        if injector is not None:
+            injector.take_timeout("dpu_launch")
         if kernel is not None:
             for pe in dpu_set.pe_ids:
                 kernel(pe, self.system)

@@ -12,15 +12,18 @@ This is the substrate every higher layer builds on.  It exposes
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from ..dtypes import DataType
-from ..errors import AllocationError, TransferError
+from ..errors import AllocationError, TransferDropped, TransferError
 from .geometry import DimmGeometry
 from .memory import MRAM_DEFAULT_BYTES, PeMemory
 from .timing import MachineParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..reliability.faults import FaultInjector
 
 
 class DimmSystem:
@@ -44,6 +47,16 @@ class DimmSystem:
         self.mram_bytes = mram_bytes
         self._memories: dict[int, PeMemory] = {}
         self._alloc_cursor = 0
+        #: Optional fault source consulted by every lane transfer (and
+        #: by :class:`~repro.hw.driver.DpuDriver`).  None = perfect
+        #: hardware, the historical behavior.
+        self.fault_injector: "FaultInjector | None" = None
+
+    def attach_fault_injector(self, injector: "FaultInjector | None"
+                              ) -> "DimmSystem":
+        """Install (or clear) the system's fault source; returns self."""
+        self.fault_injector = injector
+        return self
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -138,8 +151,15 @@ class DimmSystem:
         """
         if not pe_ids:
             raise TransferError("read_lanes over an empty PE list")
+        injector = self.fault_injector
+        if injector is not None:
+            injector.guard_pes(self.geometry, pe_ids)
         rows = [self.memory(pe).read(offset, nbytes) for pe in pe_ids]
-        return np.stack(rows, axis=0)
+        matrix = np.stack(rows, axis=0)
+        if injector is not None:
+            from ..reliability.checksum import guarded_delivery
+            matrix = guarded_delivery(injector, matrix, "read_lanes")
+        return matrix
 
     def write_lanes(self, pe_ids: Sequence[int], offset: int,
                     matrix: np.ndarray) -> None:
@@ -151,6 +171,21 @@ class DimmSystem:
         if mat.shape[0] != len(pe_ids):
             raise TransferError(
                 f"lane matrix has {mat.shape[0]} rows for {len(pe_ids)} PEs")
+        injector = self.fault_injector
+        if injector is not None:
+            from ..reliability.checksum import guarded_delivery
+            from ..reliability.faults import partial_prefix
+            injector.guard_pes(self.geometry, pe_ids)
+            if injector.take_drop():
+                # Partial delivery: a prefix of the lanes lands before
+                # the burst is abandoned, then the fault surfaces.
+                reached = partial_prefix(list(pe_ids))
+                for row, pe in zip(mat, reached):
+                    self.memory(pe).write(offset, row)
+                raise TransferDropped(
+                    f"write_lanes dropped after {len(reached)}/"
+                    f"{len(pe_ids)} lanes")
+            mat = guarded_delivery(injector, mat, "write_lanes", drop=False)
         for row, pe in zip(mat, pe_ids):
             self.memory(pe).write(offset, row)
 

@@ -19,6 +19,8 @@ Categories (matching the paper's breakdown figures 4 and 17):
 * ``kernel``     -- application compute on the PEs.
 * ``cpu``        -- application compute on a CPU-only system.
 * ``mpi``        -- inter-host traffic in the multi-host extension.
+* ``retry``      -- reliability backoff waits before re-running a
+  faulted collective (see ``repro/reliability/retry.py``).
 
 The default parameter values are calibrated so the modelled speedups
 track the ratios reported in the paper (see EXPERIMENTS.md); absolute
@@ -39,12 +41,15 @@ GB = 1e9
 
 CATEGORIES = (
     "bus", "dt", "host_mem", "host_mod", "host_reduce",
-    "pe", "launch", "kernel", "cpu", "mpi",
+    "pe", "launch", "kernel", "cpu", "mpi", "retry",
 )
 
 #: Categories counted as "communication" in application breakdowns.
+#: ``retry`` (reliability backoff waits) is communication overhead: the
+#: time is spent waiting to redo a transfer.
 COMM_CATEGORIES = (
-    "bus", "dt", "host_mem", "host_mod", "host_reduce", "pe", "launch", "mpi",
+    "bus", "dt", "host_mem", "host_mod", "host_reduce", "pe", "launch",
+    "mpi", "retry",
 )
 
 #: Categories that overlap across *independent* collective instances

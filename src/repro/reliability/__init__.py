@@ -1,0 +1,24 @@
+"""Fault injection, transfer integrity, retry, and degradation.
+
+The reliability subsystem turns the engine's perfect-hardware
+assumption into an explicit policy: a seeded
+:class:`FaultInjector` produces transient bit flips, dropped
+transfers, launch timeouts, and permanent rank failures; per-buffer
+checksums (:mod:`repro.reliability.checksum`) make corruption
+*detectable*; :class:`RetryPolicy` bounds recovery with capped
+exponential backoff and a per-request fault budget; and
+:class:`ReliabilityPolicy` decides whether a permanent rank failure
+degrades the hypercube onto the survivors or fails the request.
+"""
+
+from .checksum import checksum, guarded_delivery, verify
+from .faults import FAULT_KINDS, FaultInjector, FaultSpec, partial_prefix
+from .policy import FAIL_FAST, RELIABLE, ReliabilityPolicy
+from .retry import DEFAULT_RETRY, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS", "FaultInjector", "FaultSpec", "partial_prefix",
+    "checksum", "guarded_delivery", "verify",
+    "RetryPolicy", "DEFAULT_RETRY",
+    "ReliabilityPolicy", "RELIABLE", "FAIL_FAST",
+]

@@ -1,0 +1,63 @@
+"""Transfer integrity: per-buffer checksums over host <-> PIM traffic.
+
+Every guarded transfer models what a CRC-protected bus burst does: the
+sender computes a checksum over the outgoing bytes, the payload crosses
+the (possibly faulty) link, and the receiver verifies the delivered
+bytes against the checksum *before committing them*.  A mismatch raises
+:class:`~repro.errors.ChecksumError` -- a transient, retryable fault --
+and the corrupted payload never lands, so injected bit flips can delay
+a collective but can never silently poison its result.
+
+``crc32`` (stdlib zlib) catches every single-bit flip, which is exactly
+the corruption model :class:`~repro.reliability.faults.FaultInjector`
+produces; the modelled cost of checksumming rides inside the existing
+``dt``/``host_mod`` terms (checksum units sit on the same data path).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ChecksumError, TransferDropped
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
+
+
+def checksum(buf: np.ndarray) -> int:
+    """CRC-32 of a buffer's raw bytes (layout-independent)."""
+    arr = np.ascontiguousarray(buf)
+    return zlib.crc32(arr.reshape(-1).view(np.uint8).tobytes())
+
+
+def verify(sent_crc: int, delivered: np.ndarray, what: str = "transfer") -> None:
+    """Receiver-side check; raises :class:`ChecksumError` on mismatch."""
+    got = checksum(delivered)
+    if got != sent_crc:
+        raise ChecksumError(
+            f"{what}: checksum mismatch (sent {sent_crc:#010x}, "
+            f"received {got:#010x}); in-flight corruption detected")
+
+
+def guarded_delivery(injector: "FaultInjector | None", buf: np.ndarray,
+                     what: str = "transfer", drop: bool = True) -> np.ndarray:
+    """Move ``buf`` across the (possibly faulty) link, verified.
+
+    With no injector this is free and returns ``buf`` unchanged.  With
+    one, the transfer may be dropped (:class:`TransferDropped`) or
+    corrupted in flight; corruption is always *detected* by the CRC and
+    surfaces as :class:`ChecksumError` instead of landing, so callers
+    never commit corrupted bytes.  Callers that model their own partial
+    delivery pass ``drop=False`` and draw the drop decision themselves.
+    """
+    if injector is None:
+        return buf
+    if drop and injector.take_drop():
+        raise TransferDropped(f"{what}: transfer dropped in flight")
+    sent = checksum(buf)
+    delivered = injector.corrupt_transfer(buf)
+    verify(sent, delivered, what)
+    return delivered

@@ -1,0 +1,37 @@
+"""Session-level reliability policy: what the engine does about faults.
+
+A :class:`ReliabilityPolicy` bundles the retry parameters with the
+degradation switches; the :class:`~repro.engine.communicator.Communicator`
+consults it on every fault:
+
+* transient faults (checksum, drop, timeout) -> snapshot-restore and
+  retry under :class:`~repro.reliability.retry.RetryPolicy`;
+* permanent rank failures -> if ``degrade_on_rank_failure``, remap the
+  virtual hypercube onto the surviving ranks (shrunk dimension) and
+  replan; otherwise propagate :class:`~repro.errors.RankFailure`.
+
+Degraded plans are cached under the remapped manager's topology
+signature, so they can never alias plans compiled for the healthy cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .retry import DEFAULT_RETRY, RetryPolicy
+
+
+@dataclass(frozen=True)
+class ReliabilityPolicy:
+    """How one engine session reacts to injected (or real) faults."""
+
+    retry: RetryPolicy = DEFAULT_RETRY
+    #: On a permanent rank failure, shrink the hypercube onto the
+    #: survivors and replan instead of failing the request.
+    degrade_on_rank_failure: bool = True
+
+
+#: Retries on, degradation on -- the production posture.
+RELIABLE = ReliabilityPolicy()
+#: Retries on, degradation off -- fail loudly on hard faults.
+FAIL_FAST = ReliabilityPolicy(degrade_on_rank_failure=False)

@@ -96,6 +96,8 @@ EXPECTED_EXPORTS = {
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
     "Communicator", "CommRequest", "CommResult", "CommFuture",
     "BatchResult", "PlanCache", "EngineStats",
+    "FaultInjector", "FaultSpec", "RetryPolicy", "ReliabilityPolicy",
+    "RELIABLE", "FAIL_FAST",
     "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",
     "dtype_by_name", "op_by_name", "PidCommError",
     "pidcomm_alltoall", "pidcomm_allgather", "pidcomm_reduce_scatter",

@@ -1,0 +1,482 @@
+"""Fault injection, retry, and graceful degradation tests.
+
+One class per fault class (bit flip / drop / timeout / permanent rank
+failure), plus the engine-level retry loop, the hypercube remap, and
+the plan-cache keying that keeps degraded plans apart from healthy
+ones.
+"""
+
+import numpy as np
+import pytest
+
+from .helpers import fill_group_inputs, groups_of, make_manager
+
+from repro import (
+    Communicator,
+    DimmSystem,
+    FAIL_FAST,
+    FaultInjector,
+    FaultSpec,
+    HypercubeManager,
+    PlanCache,
+    ReliabilityPolicy,
+)
+from repro.core import reference as ref
+from repro.core.groups import member_pes
+from repro.core.hypercube import HypercubeManager as HM
+from repro.dtypes import INT64, SUM
+from repro.engine.request import CommRequest
+from repro.errors import (
+    ChecksumError,
+    FaultBudgetExceeded,
+    HypercubeError,
+    LaunchTimeout,
+    RankFailure,
+    ReliabilityError,
+    TransferDropped,
+)
+from repro.hw.driver import DpuDriver, XFER_FROM_DPU, XFER_TO_DPU
+from repro.reliability import RetryPolicy, checksum, guarded_delivery
+from repro.reliability.faults import partial_prefix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+# ----------------------------------------------------------------------
+# Fault specification and injector mechanics
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ReliabilityError):
+            FaultSpec(bit_flip_rate=1.5)
+        with pytest.raises(ReliabilityError):
+            FaultSpec(drop_rate=-0.1)
+        FaultSpec(timeout_rate=1.0)  # always-fault is legal (tests)
+
+    def test_transient_total(self):
+        spec = FaultSpec(bit_flip_rate=0.01, drop_rate=0.02,
+                         timeout_rate=0.03)
+        assert spec.transient_total == pytest.approx(0.06)
+
+    def test_spec_and_rates_mutually_exclusive(self):
+        with pytest.raises(ReliabilityError):
+            FaultInjector(FaultSpec(), bit_flip_rate=0.1)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_schedule(self):
+        buf = np.arange(64, dtype=np.uint8)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(seed=42, bit_flip_rate=0.5, drop_rate=0.5)
+            outs = [inj.corrupt_transfer(buf).tobytes() for _ in range(10)]
+            drops = [inj.take_drop() for _ in range(10)]
+            runs.append((outs, drops, dict(inj.injected)))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_differs(self):
+        buf = np.arange(256, dtype=np.uint8)
+        a = FaultInjector(seed=1, bit_flip_rate=0.5)
+        b = FaultInjector(seed=2, bit_flip_rate=0.5)
+        outs_a = [a.corrupt_transfer(buf).tobytes() for _ in range(20)]
+        outs_b = [b.corrupt_transfer(buf).tobytes() for _ in range(20)]
+        assert outs_a != outs_b
+
+    def test_corruption_flips_exactly_one_bit(self):
+        inj = FaultInjector(seed=0, bit_flip_rate=0.999)
+        buf = np.zeros(32, dtype=np.int64)
+        for _ in range(50):
+            out = inj.corrupt_transfer(buf)
+            flipped = np.unpackbits(out.view(np.uint8)).sum()
+            assert flipped in (0, 1)  # untouched or exactly one bit
+        assert inj.injected["bit_flip"] > 0
+
+    def test_partial_prefix(self):
+        assert partial_prefix([1, 2, 3, 4]) == [1, 2]
+        assert partial_prefix([5]) == [5]
+        assert partial_prefix([]) == []
+
+
+# ----------------------------------------------------------------------
+# Fault class: bit flips (detected by checksums)
+# ----------------------------------------------------------------------
+class TestBitFlips:
+    def test_checksum_detects_any_corruption(self):
+        buf = np.arange(128, dtype=np.int64)
+        crc = checksum(buf)
+        corrupted = buf.copy()
+        corrupted[13] ^= 1
+        assert checksum(corrupted) != crc
+
+    def test_guarded_delivery_raises_never_commits(self):
+        inj = FaultInjector(seed=0, bit_flip_rate=0.999)
+        buf = np.arange(64, dtype=np.uint8)
+        raised = 0
+        for _ in range(20):
+            try:
+                out = guarded_delivery(inj, buf)
+            except ChecksumError:
+                raised += 1
+            else:
+                # no fault fired: delivery must be byte-identical
+                np.testing.assert_array_equal(out, buf)
+        assert raised > 0
+
+    def test_driver_copy_from_detects_flip(self):
+        system = DimmSystem.small()
+        system.memory(0).write(0, np.arange(16, dtype=np.uint8))
+        driver = DpuDriver(system,
+                           FaultInjector(seed=1, bit_flip_rate=0.999))
+        dpus = driver.alloc_ranks(1)
+        with pytest.raises(ChecksumError):
+            for _ in range(50):
+                driver.copy_from(dpus, 0, 0, 16)
+
+
+# ----------------------------------------------------------------------
+# Fault class: dropped / partial transfers
+# ----------------------------------------------------------------------
+class TestDrops:
+    def test_push_xfer_partial_delivery(self):
+        system = DimmSystem.small()
+        driver = DpuDriver(system, FaultInjector(seed=0, drop_rate=1.0))
+        dpus = driver.alloc_ranks(1)
+        pes = dpus.pe_ids
+        bufs = [np.full(8, i, dtype=np.uint8) for i in range(len(pes))]
+        with pytest.raises(TransferDropped):
+            driver.push_xfer(dpus, XFER_TO_DPU, 0, buffers=bufs)
+        # The deterministic prefix landed; the rest never arrived.
+        reached = partial_prefix(list(pes))
+        for i, pe in enumerate(pes):
+            got = system.memory(pe).read(0, 8)
+            want = bufs[i] if pe in reached else np.zeros(8, np.uint8)
+            np.testing.assert_array_equal(got, want)
+
+    def test_from_dpu_reads_are_guarded(self):
+        system = DimmSystem.small()
+        driver = DpuDriver(system, FaultInjector(seed=0, drop_rate=1.0))
+        dpus = driver.alloc_ranks(1)
+        with pytest.raises(TransferDropped):
+            driver.push_xfer(dpus, XFER_FROM_DPU, 0, nbytes=8)
+
+
+# ----------------------------------------------------------------------
+# Fault class: launch timeouts (and the retry/backoff machinery)
+# ----------------------------------------------------------------------
+class TestTimeouts:
+    def test_driver_launch_times_out(self):
+        system = DimmSystem.small()
+        driver = DpuDriver(system, FaultInjector(seed=0, timeout_rate=1.0))
+        dpus = driver.alloc_ranks(1)
+        with pytest.raises(LaunchTimeout):
+            for _ in range(5):
+                driver.launch(dpus)
+
+    def test_backoff_sequence_caps(self):
+        policy = RetryPolicy(backoff_base_s=1e-4, backoff_factor=2.0,
+                             backoff_cap_s=3e-4)
+        assert policy.backoff(1) == pytest.approx(1e-4)
+        assert policy.backoff(2) == pytest.approx(2e-4)
+        assert policy.backoff(3) == pytest.approx(3e-4)  # capped
+        assert policy.backoff(9) == pytest.approx(3e-4)
+        assert policy.total_backoff(3) == pytest.approx(6e-4)
+
+    def test_policy_validated(self):
+        with pytest.raises(ReliabilityError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReliabilityError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_engine_retries_timeouts_to_success(self, rng):
+        manager = make_manager((4, 8))
+        system = manager.system
+        injector = FaultInjector(seed=3, timeout_rate=0.2)
+        comm = Communicator(manager, fault_injector=injector)
+        groups = groups_of(manager, "11")
+        src = system.alloc(1 << 10)
+        dst = system.alloc(1 << 10)
+        inputs = fill_group_inputs(system, groups, src, 128, INT64, rng)
+        result = comm.allreduce("11", 1 << 10, src_offset=src,
+                                dst_offset=dst)
+        assert result.attempts > 1
+        assert "timeout" in result.faults_seen
+        assert result.ledger.seconds["retry"] > 0.0
+        assert comm.stats.retries == result.attempts - 1
+        assert comm.stats.backoff_seconds > 0.0
+        want = ref.allreduce(inputs[0], SUM)
+        for pe, expect in zip(groups[0].pe_ids, want):
+            np.testing.assert_array_equal(
+                system.read_elements(pe, dst, 128, INT64), expect)
+
+    def test_attempt_cap_exhausts(self):
+        manager = make_manager((4, 8))
+        injector = FaultInjector(seed=0, timeout_rate=0.95)
+        policy = ReliabilityPolicy(retry=RetryPolicy(max_attempts=3))
+        comm = Communicator(manager, reliability=policy,
+                            fault_injector=injector)
+        src = manager.system.alloc(256)
+        with pytest.raises(FaultBudgetExceeded):
+            comm.allreduce("11", 256, src_offset=src, dst_offset=src)
+
+    def test_fault_budget_exhausts(self):
+        manager = make_manager((4, 8))
+        injector = FaultInjector(seed=0, timeout_rate=0.95)
+        policy = ReliabilityPolicy(
+            retry=RetryPolicy(max_attempts=50, fault_budget=2))
+        comm = Communicator(manager, reliability=policy,
+                            fault_injector=injector)
+        src = manager.system.alloc(256)
+        with pytest.raises(FaultBudgetExceeded, match="budget"):
+            comm.allreduce("11", 256, src_offset=src, dst_offset=src)
+
+
+# ----------------------------------------------------------------------
+# Snapshot/restore correctness for in-place primitives
+# ----------------------------------------------------------------------
+class TestSnapshotRestore:
+    def test_inplace_reduce_scatter_retries_bit_exact(self, rng):
+        # reduce_scatter permutes its *source* region in place; a retry
+        # that does not rewind would reduce permuted data.  Sweep seeds
+        # until a multi-attempt run occurs and require exactness.
+        retried = False
+        for seed in range(20):
+            manager = make_manager((4, 8))
+            system = manager.system
+            injector = FaultInjector(seed=seed, timeout_rate=0.25)
+            comm = Communicator(manager, fault_injector=injector)
+            groups = groups_of(manager, "11")
+            n = groups[0].size
+            elems = n * 2
+            src = system.alloc(elems * 8)
+            dst = system.alloc(elems * 8)
+            inputs = fill_group_inputs(system, groups, src, elems, INT64,
+                                       rng)
+            result = comm.reduce_scatter("11", elems * 8, src_offset=src,
+                                         dst_offset=dst)
+            retried = retried or result.attempts > 1
+            want = ref.reduce_scatter(inputs[0], SUM)
+            for pe, expect in zip(groups[0].pe_ids, want):
+                np.testing.assert_array_equal(
+                    system.read_elements(pe, dst, 2, INT64), expect)
+        assert retried, "no seed in range produced a retry"
+
+
+# ----------------------------------------------------------------------
+# Fault class: permanent rank failure -> graceful degradation
+# ----------------------------------------------------------------------
+class TestRankFailure:
+    def test_failed_pes_covers_whole_rank(self):
+        system = DimmSystem.small()
+        injector = FaultInjector(seed=0)
+        injector.fail_rank(1)
+        dead = injector.failed_pes(system.geometry)
+        per_rank = system.geometry.pes_per_rank
+        assert dead == frozenset(range(per_rank, 2 * per_rank))
+
+    def test_guard_raises_with_dead_pe_list(self):
+        system = DimmSystem.small()
+        injector = FaultInjector(seed=0)
+        injector.fail_rank(0)
+        with pytest.raises(RankFailure) as exc:
+            injector.guard_pes(system.geometry, [0, 1, 31])
+        assert exc.value.pe_ids == (0, 1)
+
+    def test_without_pes_halves_widest_dimension(self):
+        manager = make_manager((4, 8))
+        shrunk = manager.without_pes(range(16, 32))
+        assert shrunk.shape.dims == (4, 4)
+        assert shrunk.all_pes == tuple(range(16))
+
+    def test_without_pes_no_survivors(self):
+        manager = make_manager((4, 8))
+        with pytest.raises(HypercubeError):
+            manager.without_pes(range(32))
+
+    def test_pe_map_round_trip(self):
+        system = DimmSystem.small()
+        pes = tuple(range(8, 24))
+        manager = HM(system, (4, 4), pe_map=pes)
+        for node, pe in enumerate(pes):
+            assert manager.pe_of_node(node) == pe
+            assert manager.node_of_pe(pe) == node
+        with pytest.raises(HypercubeError):
+            manager.node_of_pe(31)
+
+    def test_pe_map_validated(self):
+        system = DimmSystem.small()
+        with pytest.raises(HypercubeError):
+            HM(system, (4, 4), pe_map=(0,) * 16)  # duplicates
+        with pytest.raises(HypercubeError):
+            HM(system, (4, 4), pe_map=tuple(range(8)))  # wrong length
+
+    def test_engine_degrades_and_stays_correct(self, rng):
+        manager = make_manager((4, 8))
+        system = manager.system
+        injector = FaultInjector(seed=0)
+        comm = Communicator(manager, fault_injector=injector)
+        src = system.alloc(256)
+        dst = system.alloc(256)
+        values = {pe: rng.integers(0, 99, 32).astype(np.int64)
+                  for pe in manager.all_pes}
+        for pe, vals in values.items():
+            system.write_elements(pe, src, vals, INT64)
+        injector.fail_rank(1)  # PEs 16..31 go dark
+        result = comm.allreduce("11", 256, src_offset=src, dst_offset=dst)
+        assert result.degraded
+        assert result.attempts == 2
+        assert "rank_failure" in result.faults_seen
+        assert comm.degraded
+        assert comm.stats.degradations == 1
+        assert comm.manager.shape.dims == (4, 4)
+        survivors = comm.manager.all_pes
+        assert survivors == tuple(range(16))
+        want = ref.allreduce([values[pe] for pe in survivors], SUM)
+        for pe, expect in zip(survivors, want):
+            np.testing.assert_array_equal(
+                system.read_elements(pe, dst, 32, INT64), expect)
+
+    def test_fail_fast_policy_propagates(self):
+        manager = make_manager((4, 8))
+        injector = FaultInjector(seed=0)
+        comm = Communicator(manager, reliability=FAIL_FAST,
+                            fault_injector=injector)
+        src = manager.system.alloc(256)
+        injector.fail_rank(0)
+        with pytest.raises(RankFailure):
+            comm.allreduce("11", 256, src_offset=src, dst_offset=src)
+
+    def test_member_pes_matches_manager(self):
+        manager = make_manager((4, 8))
+        assert member_pes(manager, "11") == tuple(range(32))
+        assert member_pes(manager, "10") == tuple(range(32))
+
+
+# ----------------------------------------------------------------------
+# Plan-cache keying: degraded plans never alias healthy ones
+# ----------------------------------------------------------------------
+class TestDegradedCacheKeys:
+    def test_topology_signature_changes_on_remap(self):
+        manager = make_manager((4, 8))
+        shrunk = manager.without_pes(range(16, 32))
+        assert manager.topology_signature() != shrunk.topology_signature()
+        # and a same-shape cube on different PEs differs too
+        other = HM(manager.system, (4, 4),
+                   pe_map=tuple(range(16, 32)))
+        assert shrunk.topology_signature() != other.topology_signature()
+
+    def test_plan_keys_never_alias(self):
+        manager = make_manager((4, 8))
+        shrunk = manager.without_pes(range(16, 32))
+        request = CommRequest("allreduce", (0, 1), 256)
+        comm = Communicator(manager)
+        healthy = request.normalize(manager, comm.config).plan_key
+        degraded = request.normalize(shrunk, comm.config).plan_key
+        assert healthy != degraded
+        assert healthy.topology != degraded.topology
+
+    def test_degradation_adds_cache_entry(self, rng):
+        manager = make_manager((4, 8))
+        system = manager.system
+        injector = FaultInjector(seed=0)
+        comm = Communicator(manager, fault_injector=injector)
+        src = system.alloc(256)
+        for pe in manager.all_pes:
+            system.write_elements(pe, src,
+                                  np.arange(32, dtype=np.int64), INT64)
+        comm.allreduce("11", 256, src_offset=src, dst_offset=src)
+        assert len(comm.cache) == 1
+        injector.fail_rank(1)
+        comm.allreduce("11", 256, src_offset=src, dst_offset=src)
+        # healthy plan still cached, degraded plan cached separately
+        assert len(comm.cache) == 2
+
+
+# ----------------------------------------------------------------------
+# PlanCache statistics (regression: per-lookup hit flag, zero lookups)
+# ----------------------------------------------------------------------
+class TestPlanCacheStats:
+    def test_hit_rate_defined_at_zero_lookups(self):
+        cache = PlanCache()
+        assert cache.lookups == 0
+        assert cache.hit_rate == 0.0  # must not raise
+
+    def test_fetch_reports_per_lookup_hit(self):
+        cache = PlanCache()
+        key_a = ("a",)
+        key_b = ("b",)
+        plan, hit = cache.fetch(key_a, lambda: "plan-a")
+        assert (plan, hit) == ("plan-a", False)
+        plan, hit = cache.fetch(key_a, lambda: "plan-a2")
+        assert (plan, hit) == ("plan-a", True)
+        plan, hit = cache.fetch(key_b, lambda: "plan-b")
+        assert (plan, hit) == ("plan-b", False)
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_nested_builder_lookup_does_not_lie(self):
+        # The old hits-differencing idiom reported the *outer* miss as a
+        # hit whenever the builder performed a hitting lookup of its
+        # own.  fetch() must report each lookup's own outcome.
+        cache = PlanCache()
+        cache.fetch(("inner",), lambda: "inner-plan")
+
+        def builder():
+            inner, inner_hit = cache.fetch(("inner",), lambda: "x")
+            assert inner_hit  # the nested lookup hits...
+            return "outer-plan"
+
+        plan, hit = cache.fetch(("outer",), builder)
+        assert plan == "outer-plan"
+        assert hit is False  # ...but the outer one is still a miss
+
+    def test_engine_stats_match_cache_counters(self):
+        manager = make_manager((4, 8))
+        comm = Communicator(manager, functional=False)
+        for _ in range(3):
+            comm.allreduce("11", 256, functional=False)
+        assert comm.stats.plans_compiled == 1
+        assert comm.stats.cache_hits == 2
+        assert comm.cache.hits == 2
+        assert comm.cache.lookups == 3
+
+
+# ----------------------------------------------------------------------
+# Trace integration
+# ----------------------------------------------------------------------
+class TestTraceIntegration:
+    def test_render_reliability_block(self, rng):
+        from repro.analysis.trace import render_reliability
+        manager = make_manager((4, 8))
+        system = manager.system
+        injector = FaultInjector(seed=3, timeout_rate=0.2)
+        comm = Communicator(manager, fault_injector=injector)
+        assert render_reliability(comm.stats) == \
+            "Reliability(no faults observed)"
+        src = system.alloc(1 << 10)
+        fill_group_inputs(system, groups_of(manager, "11"), src, 128,
+                          INT64, rng)
+        comm.allreduce("11", 1 << 10, src_offset=src, dst_offset=src)
+        text = render_reliability(comm.stats)
+        assert "retries" in text and "timeout" in text
+        assert str(comm.stats.retries) in text
+
+    def test_batch_timeline_annotates_retries(self, rng):
+        from repro.analysis.trace import render_batch_timeline, trace_batch
+        manager = make_manager((4, 8))
+        system = manager.system
+        injector = FaultInjector(seed=3, timeout_rate=0.2)
+        comm = Communicator(manager, fault_injector=injector)
+        src = system.alloc(1 << 10)
+        dst = system.alloc(1 << 10)
+        fill_group_inputs(system, groups_of(manager, "11"), src, 128,
+                          INT64, rng)
+        batch = comm.submit([
+            CommRequest("allreduce", "11", 1 << 10, src_offset=src,
+                        dst_offset=dst)])
+        traces = trace_batch(batch)
+        retries = sum(t.retries for t in traces)
+        assert retries == sum(f.result().attempts - 1 for f in batch)
+        if retries:
+            assert "retries]" in render_batch_timeline(batch)

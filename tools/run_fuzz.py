@@ -1,0 +1,161 @@
+"""Standalone differential-fuzz smoke runner.
+
+Drives random collectives through the session engine and checks every
+functional result bit-exactly against ``repro.core.reference``, with
+optional fault injection (retry enabled).  Unlike the pytest sweeps in
+``tests/test_differential_fuzz.py`` this runs for a *time budget*, so
+CI can smoke as much as its slot allows::
+
+    PYTHONPATH=src python tools/run_fuzz.py --seconds 10
+    PYTHONPATH=src python tools/run_fuzz.py --seconds 5 --fault-rate 0.01
+
+Exits nonzero (with the failing case's parameters, replayable via
+``--seed``) on the first mismatch.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import ABLATION_LADDER, Communicator, DimmSystem, FaultInjector, HypercubeManager
+from repro.core import reference as ref
+from repro.core.groups import slice_groups
+from repro.dtypes import INT8, INT16, INT32, INT64, SUM
+
+PRIMITIVES = ("alltoall", "allgather", "reduce_scatter", "allreduce",
+              "gather", "scatter", "reduce", "broadcast")
+SHAPES = ((4, 8), (8, 4), (4, 4, 2), (2, 4, 4), (2, 2, 8), (16, 2))
+DTYPES = (INT8, INT16, INT32, INT64)
+
+REFERENCE = {
+    "alltoall": lambda v: ref.alltoall(v),
+    "allgather": lambda v: ref.allgather(v),
+    "reduce_scatter": lambda v: ref.reduce_scatter(v, SUM),
+    "allreduce": lambda v: ref.allreduce(v, SUM),
+}
+
+
+def random_bitmap(rng, ndim):
+    """A uniformly random non-empty dimension bitmap."""
+    while True:
+        bits = rng.integers(0, 2, ndim)
+        if bits.any():
+            return "".join(str(int(b)) for b in bits)
+
+
+def run_one(rng, case_seed, fault_rate):
+    """Run one random collective; returns its CommResult."""
+    primitive = PRIMITIVES[rng.integers(len(PRIMITIVES))]
+    shape = SHAPES[rng.integers(len(SHAPES))]
+    dtype = DTYPES[rng.integers(len(DTYPES))]
+    chunk = int(rng.integers(1, 5))
+    config = ABLATION_LADDER[rng.integers(len(ABLATION_LADDER))]
+
+    system = DimmSystem.small(mram_bytes=1 << 16)
+    manager = HypercubeManager(system, shape)
+    injector = None
+    if fault_rate > 0:
+        per = fault_rate / 3.0
+        injector = FaultInjector(seed=case_seed, bit_flip_rate=per,
+                                 drop_rate=per, timeout_rate=per)
+    comm = Communicator(manager, config=config, fault_injector=injector)
+    bitmap = random_bitmap(rng, manager.ndim)
+    groups = slice_groups(manager, bitmap)
+    n = groups[0].size
+    item = dtype.itemsize
+
+    if primitive in ("scatter", "broadcast"):
+        root_elems = n * chunk if primitive == "scatter" else chunk
+        payloads = {g.instance: rng.integers(-99, 100, root_elems)
+                    .astype(dtype.np_dtype) for g in groups}
+        total = chunk * item
+        dst = system.alloc(total)
+        result = getattr(comm, primitive)(
+            bitmap, total, dst_offset=dst, data_type=dtype,
+            payloads=payloads)
+        for group in groups:
+            make = ref.scatter if primitive == "scatter" else ref.broadcast
+            want = make(payloads[group.instance], n)
+            for pe, expect in zip(group.pe_ids, want):
+                got = system.read_elements(pe, dst, chunk, dtype)
+                np.testing.assert_array_equal(got, expect)
+        return result
+
+    elems = chunk if primitive == "allgather" else n * chunk
+    total = elems * item
+    src = system.alloc(total)
+    inputs = {}
+    for group in groups:
+        vectors = []
+        for pe in group.pe_ids:
+            values = rng.integers(-99, 100, elems).astype(dtype.np_dtype)
+            system.write_elements(pe, src, values, dtype)
+            vectors.append(values)
+        inputs[group.instance] = vectors
+
+    if primitive in ("gather", "reduce"):
+        method = getattr(comm, primitive)
+        kwargs = {"reduction_type": SUM} if primitive == "reduce" else {}
+        result = method(bitmap, total, src_offset=src, data_type=dtype,
+                        **kwargs)
+        for group in groups:
+            make = ref.gather if primitive == "gather" else \
+                (lambda v: ref.reduce(v, SUM))
+            want = make(inputs[group.instance])
+            got = np.asarray(result.host_outputs[group.instance]).view(
+                dtype.np_dtype).reshape(-1)
+            np.testing.assert_array_equal(got, want)
+        return result
+
+    out_elems = {"alltoall": elems, "reduce_scatter": chunk,
+                 "allgather": n * chunk, "allreduce": elems}[primitive]
+    dst = system.alloc(out_elems * item)
+    kwargs = ({"reduction_type": SUM}
+              if primitive in ("reduce_scatter", "allreduce") else {})
+    result = getattr(comm, primitive)(
+        bitmap, total, src_offset=src, dst_offset=dst, data_type=dtype,
+        **kwargs)
+    for group in groups:
+        want = REFERENCE[primitive](inputs[group.instance])
+        for pe, expect in zip(group.pe_ids, want):
+            got = system.read_elements(pe, dst, out_elems, dtype)
+            np.testing.assert_array_equal(got, expect)
+    return result
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=5.0,
+                        help="time budget for the sweep (default 5)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed (replays the same case sequence)")
+    parser.add_argument("--fault-rate", type=float, default=0.01,
+                        help="total transient fault rate per operation "
+                        "(0 disables injection; default 0.01)")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    deadline = time.monotonic() + args.seconds
+    cases = retried = 0
+    while time.monotonic() < deadline:
+        cases += 1
+        try:
+            result = run_one(rng, case_seed=args.seed + cases,
+                             fault_rate=args.fault_rate)
+        except Exception as exc:  # mismatch or unexpected engine error
+            print(f"FAIL at case {cases} (seed {args.seed}): {exc}",
+                  file=sys.stderr)
+            return 1
+        if result.attempts > 1:
+            retried += 1
+    print(f"OK: {cases} cases in {args.seconds:.1f}s budget, "
+          f"{retried} retried (seed {args.seed}, "
+          f"fault rate {args.fault_rate})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
