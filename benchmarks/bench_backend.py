@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Benchmark the scalar vs. vectorized execution backends.
+
+Runs the four dense collectives (AlltoAll, AllGather, ReduceScatter,
+AllReduce) functionally on both backends across PE counts, checks the
+two backends are bit-exact against each other *and* against
+``repro.core.reference`` with identical cost accounting, then times
+each backend on fresh systems and emits ``BENCH_backend.json`` with
+ops/sec per (collective, PE count, backend) plus the speedups.
+
+The script exits non-zero if any parity check fails or the headline
+speedup falls below the regression threshold (>= 10x for the full
+1024-PE AlltoAll run, >= 5x for ``--smoke``), so CI can run it as a
+regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py --smoke
+    PYTHONPATH=src python benchmarks/bench_backend.py   # full sweep
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import Communicator, DimmGeometry, DimmSystem, HypercubeManager
+from repro.core import reference as ref
+from repro.core.groups import slice_groups
+from repro.dtypes import INT64, SUM
+
+MRAM_BYTES = 1 << 15
+ELEM = INT64.itemsize  # one int64 per peer slot (chunk_bytes = 8)
+
+GEOMETRIES = {
+    64: DimmGeometry(1, 1, 8, 8),
+    256: DimmGeometry(2, 2, 8, 8),
+    1024: DimmGeometry(4, 4, 8, 8),
+}
+
+#: collective -> (total bytes per PE, output elems per PE, needs reduce op)
+SPECS = {
+    "alltoall": (lambda n: n * ELEM, lambda n: n, False),
+    "allgather": (lambda n: ELEM, lambda n: n, False),
+    "reduce_scatter": (lambda n: n * ELEM, lambda n: 1, True),
+    "allreduce": (lambda n: n * ELEM, lambda n: n, True),
+}
+
+REFERENCE = {
+    "alltoall": lambda vecs: ref.alltoall(vecs),
+    "allgather": lambda vecs: ref.allgather(vecs),
+    "reduce_scatter": lambda vecs: ref.reduce_scatter(vecs, SUM),
+    "allreduce": lambda vecs: ref.allreduce(vecs, SUM),
+}
+
+
+def setup(npes, backend, seed):
+    """Fresh system + communicator + seeded inputs for one run."""
+    system = DimmSystem(GEOMETRIES[npes], mram_bytes=MRAM_BYTES,
+                        backend=backend)
+    manager = HypercubeManager(system, shape=(npes,))
+    comm = Communicator(manager)
+    pe_ids = slice_groups(manager, "1")[0].pe_ids
+    return system, comm, pe_ids
+
+
+def fill_inputs(system, pe_ids, nbytes, seed):
+    """Seeded per-PE int64 inputs at offset 0; returns them rank-ordered."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-99, 100, (len(pe_ids), nbytes // ELEM),
+                          dtype=np.int64)
+    system.scatter_elements(pe_ids, 0, list(values), INT64)
+    return values
+
+
+def invoke(comm, collective, npes):
+    """One functional collective; src at 0, dst right after it."""
+    total_fn, _, needs_op = SPECS[collective]
+    total = total_fn(npes)
+    kwargs = {"reduction_type": SUM} if needs_op else {}
+    return getattr(comm, collective)(
+        "1", total, src_offset=0, dst_offset=total, data_type=INT64,
+        **kwargs)
+
+
+def check_parity(collective, npes, seed=11):
+    """Both backends, same inputs: outputs, costs, and reference agree."""
+    total_fn, out_fn, _ = SPECS[collective]
+    total, out_elems = total_fn(npes), out_fn(npes)
+    runs = {}
+    for backend in ("scalar", "vectorized"):
+        system, comm, pe_ids = setup(npes, backend, seed)
+        inputs = fill_inputs(system, pe_ids, total, seed)
+        result = invoke(comm, collective, npes)
+        outputs = np.stack(system.gather_elements(pe_ids, total, out_elems,
+                                                  INT64))
+        runs[backend] = (inputs, outputs, result)
+    inputs, scalar_out, scalar_res = runs["scalar"]
+    _, vector_out, vector_res = runs["vectorized"]
+    label = f"{collective}@{npes}"
+    if not np.array_equal(scalar_out, vector_out):
+        raise SystemExit(f"PARITY FAIL {label}: backends disagree")
+    want = np.stack(REFERENCE[collective](list(inputs)))
+    if not np.array_equal(vector_out.reshape(want.shape), want):
+        raise SystemExit(f"PARITY FAIL {label}: reference mismatch")
+    if scalar_res.ledger.breakdown() != vector_res.ledger.breakdown():
+        raise SystemExit(f"PARITY FAIL {label}: cost ledgers differ")
+    if scalar_res.simd != vector_res.simd:
+        raise SystemExit(f"PARITY FAIL {label}: SIMD counters differ")
+    if scalar_res.wram_tiles != vector_res.wram_tiles:
+        raise SystemExit(f"PARITY FAIL {label}: WRAM tile counts differ")
+
+
+def time_backend(collective, npes, backend, iters, seed=5):
+    """Mean seconds per functional collective (after one warmup run)."""
+    system, comm, pe_ids = setup(npes, backend, seed)
+    total_fn, _, _ = SPECS[collective]
+    fill_inputs(system, pe_ids, total_fn(npes), seed)
+    invoke(comm, collective, npes)  # warm the plan cache + op caches
+    start = time.perf_counter()
+    for _ in range(iters):
+        invoke(comm, collective, npes)
+    return (time.perf_counter() - start) / iters
+
+
+def scalar_iters(npes):
+    """Fewer timed scalar iterations at scale; it is the slow baseline."""
+    return {64: 3, 256: 2}.get(npes, 1)
+
+
+def main(argv=None):
+    """Parse args, run the sweep, write the JSON report, gate thresholds."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast sweep for CI (256 PEs, 2 "
+                             "collectives, >=5x gate)")
+    parser.add_argument("--out", default="BENCH_backend.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        pe_counts = (256,)
+        collectives = ("alltoall", "allreduce")
+        headline, threshold = "alltoall@256", 5.0
+    else:
+        pe_counts = (64, 256, 1024)
+        collectives = tuple(SPECS)
+        headline, threshold = "alltoall@1024", 10.0
+
+    results = []
+    speedups = {}
+    for npes in pe_counts:
+        for collective in collectives:
+            label = f"{collective}@{npes}"
+            print(f"[parity] {label} ...", flush=True)
+            check_parity(collective, npes)
+            timings = {}
+            for backend in ("scalar", "vectorized"):
+                iters = (scalar_iters(npes) if backend == "scalar"
+                         else 5)
+                seconds = time_backend(collective, npes, backend, iters)
+                timings[backend] = seconds
+                results.append({
+                    "collective": collective, "npes": npes,
+                    "backend": backend, "iters": iters,
+                    "seconds_per_op": seconds,
+                    "ops_per_sec": 1.0 / seconds,
+                })
+            speedups[label] = timings["scalar"] / timings["vectorized"]
+            print(f"[timing] {label}: scalar {timings['scalar']:.4f}s, "
+                  f"vectorized {timings['vectorized']:.4f}s "
+                  f"({speedups[label]:.1f}x)", flush=True)
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "dtype": "int64", "chunk_bytes": ELEM,
+        "parity": "bit-exact (outputs, ledger, simd, wram_tiles)",
+        "headline": {"case": headline, "threshold": threshold,
+                     "speedup": speedups[headline]},
+        "speedups": speedups,
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if speedups[headline] < threshold:
+        print(f"REGRESSION: {headline} speedup {speedups[headline]:.1f}x "
+              f"< {threshold:.0f}x", file=sys.stderr)
+        return 1
+    print(f"OK: {headline} speedup {speedups[headline]:.1f}x "
+          f">= {threshold:.0f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,10 @@ class ExecContext:
     scratch: dict[str, Any] = field(default_factory=dict)
     #: Register-operation counts accumulated by the host data path.
     simd: SimdCounter = field(default_factory=SimdCounter)
+    #: WRAM tiles moved by PE-local kernels.  Both backends charge the
+    #: per-PE tile count, so this is backend-invariant by construction
+    #: (asserted by ``tests/test_backend_parity.py``).
+    wram_tiles: int = 0
 
 
 class Step(abc.ABC):

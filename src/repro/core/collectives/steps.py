@@ -35,8 +35,12 @@ from ...dtypes import DataType, ReduceOp
 from ...errors import CollectiveError, TransferError
 from ...hw import domain
 from ...reliability.checksum import guarded_delivery
-from ...hw.host import REGISTER_BYTES, rotate_lanes_registerwise
-from ...hw.pe import wram_permute_chunks
+from ...hw.host import (
+    REGISTER_BYTES,
+    fanout_all_slots,
+    rotate_all_slots,
+    rotate_lanes_registerwise,
+)
 from ...hw.system import DimmSystem
 from ...hw.timing import CostLedger
 from ..groups import CommGroup
@@ -71,6 +75,20 @@ def slot_permutation(rule: str, rank: int, nslots: int) -> np.ndarray:
     raise CollectiveError(f"unknown slot permutation rule {rule!r}")
 
 
+def slot_permutation_matrix(rule: str, nranks: int,
+                            nslots: int) -> np.ndarray:
+    """Stacked :func:`slot_permutation` rows for ranks ``0..nranks-1``."""
+    ranks = np.arange(nranks)[:, None]
+    idx = np.arange(nslots)[None, :]
+    if rule == "identity":
+        return np.broadcast_to(idx, (nranks, nslots)).copy()
+    if rule == "rotate_left_rank":
+        return (idx + ranks) % nslots
+    if rule == "reflect_rank":
+        return (ranks - idx) % nslots
+    raise CollectiveError(f"unknown slot permutation rule {rule!r}")
+
+
 def union_pes(groups: Sequence[CommGroup]) -> list[int]:
     """All PEs participating across the instances, deduplicated."""
     seen: set[int] = set()
@@ -99,6 +117,18 @@ def _count_domain_transfer(ctx: ExecContext, nbytes: int) -> None:
     register operations are still counted for the cost cross-check.
     """
     ctx.simd.transposes += (nbytes + REGISTER_BYTES - 1) // REGISTER_BYTES
+
+
+def _count_domain_transfer_per_slot(ctx: ExecContext, nbytes: int,
+                                    nslots: int) -> None:
+    """Batched form of ``nslots`` :func:`_count_domain_transfer` calls.
+
+    The per-slot ceiling division must be preserved (``nslots`` small
+    transposes charge more than one big one), so the vectorized steps
+    stay charge-identical to the scalar per-slot loop.
+    """
+    ctx.simd.transposes += nslots * (
+        (nbytes + REGISTER_BYTES - 1) // REGISTER_BYTES)
 
 
 def _roundtrip_domain(row: np.ndarray) -> np.ndarray:
@@ -137,13 +167,15 @@ class PeReorderStep(Step):
             injector.guard_pes(ctx.system.geometry, union_pes(self.groups))
             injector.take_timeout("reorder kernel launch")
         for group in self.groups:
-            for rank, pe in enumerate(group.pe_ids):
-                mem = ctx.system.memory(pe)
-                perm = slot_permutation(self.rule, rank, self.nslots)
-                # Honest PE-side execution: every byte is staged through
-                # the owning PE's WRAM in bounded tiles.
-                wram_permute_chunks(mem, self.src_offset, self.dst_offset,
-                                    self.chunk_bytes, perm)
+            perms = slot_permutation_matrix(self.rule, group.size,
+                                            self.nslots)
+            # Scalar backend: honest PE-side execution, every byte
+            # staged through the owning PE's WRAM in bounded tiles.
+            # Vectorized backend: one batched gather for the whole
+            # group, charged the identical tile count.
+            ctx.wram_tiles += ctx.system.permute_chunks(
+                group.pe_ids, self.src_offset, self.dst_offset,
+                self.chunk_bytes, perms)
 
     def cost(self, system: DimmSystem) -> CostLedger:
         ledger = CostLedger()
@@ -180,6 +212,20 @@ class RotateExchangeStep(Step):
 
     def apply(self, ctx: ExecContext) -> None:
         for group in self.groups:
+            if ctx.system.vectorized:
+                total = self.nslots * self.chunk_bytes
+                block = ctx.system.read_lanes(group.pe_ids, self.offset,
+                                              total)
+                rolled = rotate_all_slots(
+                    block.reshape(group.size, self.nslots,
+                                  self.chunk_bytes), ctx.simd)
+                if self.mode != "crossdomain":
+                    _count_domain_transfer_per_slot(
+                        ctx, 2 * group.size * self.chunk_bytes,
+                        self.nslots)
+                ctx.system.write_lanes(group.pe_ids, self.offset,
+                                       rolled.reshape(group.size, total))
+                continue
             for s in range(self.nslots):
                 slot_off = self.offset + s * self.chunk_bytes
                 row = ctx.system.read_lanes(group.pe_ids, slot_off,
@@ -239,6 +285,13 @@ class FanoutStep(Step):
                 _count_domain_transfer(
                     ctx, row.size * (1 + group.size))
                 row = _roundtrip_domain(row)
+            if ctx.system.vectorized:
+                fanned = fanout_all_slots(row, group.size, ctx.simd)
+                ctx.system.write_lanes(
+                    group.pe_ids, self.dst_offset,
+                    fanned.reshape(group.size,
+                                   group.size * self.chunk_bytes))
+                continue
             for s in range(group.size):
                 rolled = rotate_lanes_registerwise(row, s, ctx.simd)
                 ctx.system.write_lanes(
@@ -309,18 +362,10 @@ class ReduceExchangeStep(Step):
     def apply(self, ctx: ExecContext) -> None:
         results = {}
         for group in self.groups:
-            acc: np.ndarray | None = None
-            for s in range(self.nslots):
-                row = ctx.system.read_lanes(
-                    group.pe_ids, self.src_offset + s * self.chunk_bytes,
-                    self.chunk_bytes)
-                rolled = rotate_lanes_registerwise(row, s, ctx.simd)
-                if self.mode != "crossdomain":
-                    _count_domain_transfer(ctx, rolled.size)
-                    rolled = _roundtrip_domain(rolled)
-                values = rolled.view(self.dtype.np_dtype)
-                acc = values.copy() if acc is None else self.op.combine(acc, values)
-            assert acc is not None
+            if ctx.system.vectorized:
+                acc = self._reduce_group_batched(ctx, group)
+            else:
+                acc = self._reduce_group(ctx, group)
             if self.dst_offset is not None:
                 raw = np.ascontiguousarray(acc).view(np.uint8)
                 if self.mode != "crossdomain":
@@ -330,6 +375,47 @@ class ReduceExchangeStep(Step):
                 results[group.instance] = acc
         if self.scratch_key is not None:
             ctx.scratch[self.scratch_key] = results
+
+    def _reduce_group(self, ctx: ExecContext,
+                      group: CommGroup) -> np.ndarray:
+        """Scalar path: per-slot read, rotate, left-fold accumulate."""
+        acc: np.ndarray | None = None
+        for s in range(self.nslots):
+            row = ctx.system.read_lanes(
+                group.pe_ids, self.src_offset + s * self.chunk_bytes,
+                self.chunk_bytes)
+            rolled = rotate_lanes_registerwise(row, s, ctx.simd)
+            if self.mode != "crossdomain":
+                _count_domain_transfer(ctx, rolled.size)
+                rolled = _roundtrip_domain(rolled)
+            values = rolled.view(self.dtype.np_dtype)
+            acc = values.copy() if acc is None else self.op.combine(acc,
+                                                                    values)
+        assert acc is not None
+        return acc
+
+    def _reduce_group_batched(self, ctx: ExecContext,
+                              group: CommGroup) -> np.ndarray:
+        """Vectorized path: one read + one rotation gather per group.
+
+        The accumulation stays an explicit left fold over slots (not
+        ``ufunc.reduce``) so floating-point results are bit-identical
+        to the scalar path's combine order.
+        """
+        total = self.nslots * self.chunk_bytes
+        block = ctx.system.read_lanes(group.pe_ids, self.src_offset,
+                                      total)
+        rolled = rotate_all_slots(
+            block.reshape(group.size, self.nslots, self.chunk_bytes),
+            ctx.simd)
+        if self.mode != "crossdomain":
+            _count_domain_transfer_per_slot(
+                ctx, group.size * self.chunk_bytes, self.nslots)
+        values = rolled.view(self.dtype.np_dtype)
+        acc = values[:, 0].copy()
+        for s in range(1, self.nslots):
+            acc = self.op.combine(acc, values[:, s])
+        return acc
 
     def cost(self, system: DimmSystem) -> CostLedger:
         params = system.params
@@ -399,6 +485,13 @@ class FanoutFromHostStep(Step):
                     f"scratch row {row.shape} does not match group "
                     f"({group.size}, {self.chunk_bytes})")
             _count_domain_transfer(ctx, row.size)
+            if ctx.system.vectorized:
+                fanned = fanout_all_slots(row, group.size, ctx.simd)
+                ctx.system.write_lanes(
+                    group.pe_ids, self.dst_offset,
+                    fanned.reshape(group.size,
+                                   group.size * self.chunk_bytes))
+                continue
             for s in range(group.size):
                 ctx.system.write_lanes(
                     group.pe_ids, self.dst_offset + s * self.chunk_bytes,
@@ -564,8 +657,7 @@ class BroadcastStep(Step):
                 # One domain-transferred image serves every PE, so the
                 # whole fan-out is one checksummed delivery.
                 buf = guarded_delivery(injector, buf, "broadcast")
-            for pe in group.pe_ids:
-                ctx.system.memory(pe).write(self.dst_offset, buf)
+            ctx.system.fill_lanes(group.pe_ids, self.dst_offset, buf)
 
     def cost(self, system: DimmSystem) -> CostLedger:
         params = system.params

@@ -77,16 +77,22 @@ class Communicator:
             is supplied, else None (faults propagate to the caller).
         fault_injector: Attached to the manager's system so every
             transfer and launch consults it (``docs/reliability.md``).
+        backend: Execution backend to switch the manager's system to
+            (``"scalar"`` or ``"vectorized"``); None keeps the
+            system's current backend (``docs/performance.md``).
     """
 
     def __init__(self, manager: HypercubeManager,
                  config: OptConfig = FULL, functional: bool = True,
                  cache_size: int | None = None,
                  reliability: ReliabilityPolicy | None = None,
-                 fault_injector: FaultInjector | None = None) -> None:
+                 fault_injector: FaultInjector | None = None,
+                 backend: str | None = None) -> None:
         self.manager = manager
         self.config = config
         self.functional = functional
+        if backend is not None:
+            manager.system.set_backend(backend)
         self.cache = PlanCache(maxsize=cache_size)
         self.stats = EngineStats()
         if fault_injector is not None:
@@ -97,6 +103,11 @@ class Communicator:
         #: True once a permanent rank failure forced a remap; every
         #: later result reports it ran on the degraded cube.
         self.degraded = False
+
+    @property
+    def backend(self) -> str:
+        """The execution backend of the session's system."""
+        return self.manager.system.backend
 
     # ------------------------------------------------------------------
     # Engine internals
@@ -143,7 +154,10 @@ class Communicator:
         host_outputs = self._host_outputs(req, ctx)
         self.stats.record_call(req.primitive, plan, ledger, cached=hit)
         return CommResult(plan=bound, ledger=ledger,
-                          host_outputs=host_outputs, cached=hit)
+                          host_outputs=host_outputs, cached=hit,
+                          simd=ctx.simd if ctx is not None else None,
+                          wram_tiles=ctx.wram_tiles if ctx is not None
+                          else 0)
 
     def _host_outputs(self, req: NormalizedRequest,
                       ctx) -> dict[int, np.ndarray] | None:
@@ -191,7 +205,8 @@ class Communicator:
             src_offset=req.src_offset, dst_offset=req.dst_offset,
             data_type=req.dtype, reduction_type=req.op,
             payloads=req.payloads, config=req.config,
-            tag=req.tag).normalize(self.manager, self.config)
+            tag=req.tag).normalize(self.manager, self.config,
+                                   backend=self.backend)
 
     def _run_reliable(self, req: NormalizedRequest,
                       functional: bool) -> CommResult:
@@ -274,11 +289,15 @@ class Communicator:
                               host_outputs=host_outputs, cached=hit,
                               attempts=attempts,
                               faults_seen=tuple(faults),
-                              degraded=self.degraded)
+                              degraded=self.degraded,
+                              simd=ctx.simd if ctx is not None else None,
+                              wram_tiles=ctx.wram_tiles
+                              if ctx is not None else 0)
 
     def _call(self, request: CommRequest,
               functional: bool | None) -> CommResult:
-        req = request.normalize(self.manager, self.config)
+        req = request.normalize(self.manager, self.config,
+                                backend=self.backend)
         return self._run(
             req, self.functional if functional is None else functional)
 
@@ -303,7 +322,8 @@ class Communicator:
             raise CollectiveError("submit() needs at least one request")
         run_functional = (self.functional if functional is None
                           else functional)
-        normalized = [r.normalize(self.manager, self.config)
+        normalized = [r.normalize(self.manager, self.config,
+                                  backend=self.backend)
                       for r in requests]
         waves = schedule_waves(normalized)
         futures: list[CommFuture] = [None] * len(normalized)  # type: ignore

@@ -64,8 +64,14 @@ class CommRequest:
     tag: str | None = None
 
     def normalize(self, manager: HypercubeManager,
-                  default_config: OptConfig) -> "NormalizedRequest":
-        """Resolve names/bitmaps against ``manager``; validate early."""
+                  default_config: OptConfig,
+                  backend: str = "scalar") -> "NormalizedRequest":
+        """Resolve names/bitmaps against ``manager``; validate early.
+
+        ``backend`` records the execution backend the session will run
+        the plan on; it is folded into the cache key so scalar and
+        vectorized sessions sharing a cache never alias plans.
+        """
         if self.primitive not in PLANNERS:
             raise CollectiveError(
                 f"unknown primitive {self.primitive!r}; "
@@ -85,6 +91,7 @@ class CommRequest:
             dst_offset=int(self.dst_offset), dtype=dtype, op=op,
             config=self.config if self.config is not None else default_config,
             group_size=group_size(manager, dims),
+            backend=backend,
             topology=manager.topology_signature(),
             payloads=self.payloads, tag=self.tag)
 
@@ -102,6 +109,8 @@ class NormalizedRequest:
     op: ReduceOp
     config: OptConfig
     group_size: int
+    #: Execution backend the session runs this plan on.
+    backend: str = "scalar"
     #: The manager's :meth:`topology_signature` at normalization time.
     #: Folded into the cache key so plans compiled for a degraded
     #: (remapped) cube never alias the healthy cube's plans.
@@ -119,7 +128,8 @@ class NormalizedRequest:
                        src_offset=self.src_offset,
                        dst_offset=self.dst_offset,
                        dtype=self.dtype.name, op=op_name,
-                       variant=self.config, topology=self.topology)
+                       variant=self.config, topology=self.topology,
+                       backend=self.backend)
 
     def describe(self) -> str:
         """Short label for traces and futures."""
@@ -186,6 +196,10 @@ class PlanKey:
     op: str | None
     variant: Any
     topology: Any = None
+    #: Execution backend (``"scalar"``/``"vectorized"``); keyed so a
+    #: cache shared across sessions never hands one backend's plan to
+    #: the other.
+    backend: str = "scalar"
 
 
 def _overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:

@@ -21,6 +21,7 @@ import numpy as np
 from ..core.collectives import CommPlan
 from ..dtypes import DataType
 from ..errors import PidCommError
+from ..hw.host import SimdCounter
 from ..hw.timing import CostLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,6 +45,13 @@ class CommResult:
     faults_seen: tuple[str, ...] = ()
     #: True when the collective ran on a degraded (remapped) hypercube.
     degraded: bool = False
+    #: Register-operation counts from the functional host pass (None
+    #: for analytic runs).  Backend-invariant: the vectorized backend
+    #: charges exactly what the scalar per-slot kernels would.
+    simd: SimdCounter | None = None
+    #: WRAM tiles moved by PE-local kernels (0 for analytic runs);
+    #: also backend-invariant.
+    wram_tiles: int = 0
 
     @property
     def seconds(self) -> float:

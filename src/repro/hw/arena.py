@@ -1,0 +1,189 @@
+"""Lane-major MRAM arena: storage for the vectorized backend.
+
+The scalar backend keeps each PE's MRAM in its own numpy array, so a
+burst over ``P`` PEs costs ``P`` Python-level reads.  The arena instead
+stores every materialized PE's bank as one row of a single
+``(rows, mram_bytes)`` uint8 array -- lane-major, row = lane -- so the
+host's burst view over an ordered PE list is a single numpy operation:
+
+* a contiguous (or constant-stride) PE run maps to a basic slice of the
+  backing array, i.e. a **zero-copy view**; the hypercube mapping
+  assigns group members to consecutive PE ids, so every group formed
+  over the fastest cube dimensions is such a run;
+* any other ordered list maps to one fancy-index gather/scatter.
+
+Rows are addressed by PE id relative to a base offset.  The backing
+array starts empty and grows geometrically as PEs are touched, so
+analytic (cost-only) runs that touch nothing still allocate nothing,
+and the zero-fill of fresh rows is lazy at the OS level (calloc pages).
+Accessors always re-derive views from the current backing array, so a
+growth-triggered reallocation never leaves a stale alias behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AllocationError, TransferError
+
+
+class MemoryArena:
+    """One lane-major uint8 array holding many PEs' MRAM banks.
+
+    Args:
+        mram_bytes: Bytes per PE bank (one row).
+        max_rows: Upper bound on rows (the system's PE count); only
+            clamps growth headroom -- untouched PEs never cost memory.
+    """
+
+    def __init__(self, mram_bytes: int, max_rows: int) -> None:
+        if mram_bytes <= 0:
+            raise AllocationError(
+                f"mram_bytes must be positive, got {mram_bytes}")
+        if max_rows <= 0:
+            raise AllocationError(
+                f"max_rows must be positive, got {max_rows}")
+        self.mram_bytes = mram_bytes
+        self.max_rows = max_rows
+        self._base = 0
+        self._data = np.zeros((0, mram_bytes), dtype=np.uint8)
+        self._touched: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Row accounting
+    # ------------------------------------------------------------------
+    @property
+    def touched_count(self) -> int:
+        """How many distinct PEs have been touched."""
+        return len(self._touched)
+
+    def touched_ids(self) -> list[int]:
+        """Touched PE ids in ascending order."""
+        return sorted(self._touched)
+
+    def is_touched(self, pe_id: int) -> bool:
+        """Whether ``pe_id`` has a live row."""
+        return pe_id in self._touched
+
+    def touch(self, pe_ids) -> np.ndarray:
+        """Materialize rows for ``pe_ids``; returns them as an id array."""
+        ids = np.asarray(pe_ids, dtype=np.intp).reshape(-1)
+        if ids.size:
+            self._ensure(int(ids.min()), int(ids.max()) + 1)
+            self._touched.update(int(pe) for pe in ids)
+        return ids
+
+    def _ensure(self, lo: int, hi: int) -> None:
+        """Grow (and possibly re-base) the backing array to cover [lo, hi)."""
+        nrows = self._data.shape[0]
+        if nrows and lo >= self._base and hi <= self._base + nrows:
+            return
+        if lo < 0 or hi > self.max_rows:
+            raise AllocationError(
+                f"arena rows [{lo}, {hi}) outside [0, {self.max_rows})")
+        new_base = min(lo, self._base) if nrows else lo
+        new_end = max(hi, self._base + nrows) if nrows else hi
+        # Geometric headroom upward, so touching PEs one by one costs
+        # O(log n) reallocations instead of O(n).
+        grown = max(new_end - new_base, 2 * nrows)
+        new_end = max(new_end, min(new_base + grown, self.max_rows))
+        fresh = np.zeros((new_end - new_base, self.mram_bytes), dtype=np.uint8)
+        if nrows:
+            at = self._base - new_base
+            fresh[at:at + nrows] = self._data
+        self._base = new_base
+        self._data = fresh
+
+    def _rows(self, ids: np.ndarray) -> np.ndarray:
+        return ids - self._base
+
+    def _check_span(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.mram_bytes:
+            raise TransferError(
+                f"MRAM access [{offset}, {offset + nbytes}) outside "
+                f"[0, {self.mram_bytes})")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def row_view(self, pe_id: int) -> np.ndarray:
+        """Zero-copy view of one PE's whole bank (touches the PE).
+
+        Re-derived from the current backing array on every call, so it
+        is always safe to use even after the arena has grown.
+        """
+        ids = self.touch((pe_id,))
+        return self._data[int(ids[0]) - self._base]
+
+    def lane_view(self, pe_ids, offset: int, nbytes: int) -> np.ndarray | None:
+        """Zero-copy ``(len(pe_ids), nbytes)`` window, when one exists.
+
+        Returns a basic-slice view of the backing array when the PE
+        list is a single id, a contiguous run, or a constant positive
+        stride (the layouts the hypercube mapping produces for
+        entangled groups); returns None for any other ordering, in
+        which case callers fall back to one gather/scatter.
+        """
+        self._check_span(offset, nbytes)
+        ids = self.touch(pe_ids)
+        if ids.size == 0:
+            return None
+        rows = self._rows(ids)
+        span = self._data[:, offset:offset + nbytes]
+        if ids.size == 1:
+            return span[rows[0]:rows[0] + 1]
+        steps = np.diff(ids)
+        step = int(steps[0])
+        if step > 0 and bool((steps == step).all()):
+            return span[rows[0]:rows[-1] + 1:step]
+        return None
+
+    # ------------------------------------------------------------------
+    # Bulk transfers
+    # ------------------------------------------------------------------
+    def read_rows(self, pe_ids, offset: int, nbytes: int) -> np.ndarray:
+        """Copy ``nbytes`` at ``offset`` from each PE into a lane matrix."""
+        view = self.lane_view(pe_ids, offset, nbytes)
+        if view is not None:
+            return view.copy()
+        ids = self.touch(pe_ids)
+        # Slice the column window first, then gather: the fancy index
+        # then copies only the requested bytes, never whole rows.
+        return self._data[:, offset:offset + nbytes][self._rows(ids)]
+
+    def write_rows(self, pe_ids, offset: int, matrix: np.ndarray) -> None:
+        """Write lane-matrix rows into each PE at ``offset``."""
+        mat = np.asarray(matrix)
+        if mat.ndim != 2 or mat.dtype != np.uint8:
+            raise TransferError(
+                f"expected 2-D uint8 lane matrix, got {mat.dtype} "
+                f"ndim={mat.ndim}")
+        nbytes = mat.shape[1]
+        view = self.lane_view(pe_ids, offset, nbytes)
+        ids = self.touch(pe_ids)
+        if mat.shape[0] != ids.size:
+            raise TransferError(
+                f"lane matrix has {mat.shape[0]} rows for {ids.size} PEs")
+        if view is not None:
+            view[:] = mat
+            return
+        self._data[:, offset:offset + nbytes][self._rows(ids)] = mat
+
+    def fill_rows(self, pe_ids, offset: int, row: np.ndarray) -> None:
+        """Write the same 1-D uint8 buffer to every listed PE."""
+        buf = np.asarray(row)
+        if buf.dtype != np.uint8 or buf.ndim != 1:
+            raise TransferError(
+                f"MRAM writes take 1-D uint8 buffers, got {buf.dtype} "
+                f"ndim={buf.ndim}")
+        view = self.lane_view(pe_ids, offset, buf.size)
+        if view is not None:
+            view[:] = buf
+            return
+        ids = self.touch(pe_ids)
+        self._data[:, offset:offset + buf.size][self._rows(ids)] = buf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryArena({self._data.shape[0]} rows @ base "
+                f"{self._base}, {self.touched_count} touched, "
+                f"{self.mram_bytes}B each)")

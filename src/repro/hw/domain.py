@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TransferError
+from .pe import check_permutation
 
 
 def host_to_pim(host_bytes: np.ndarray, lanes: int) -> np.ndarray:
@@ -91,9 +92,7 @@ def permute_lanes(lane_matrix: np.ndarray, permutation: np.ndarray) -> np.ndarra
         raise TransferError(
             f"permutation of shape {perm.shape} does not match "
             f"{matrix.shape[0]} lanes")
-    if sorted(perm.tolist()) != list(range(matrix.shape[0])):
-        raise TransferError(f"{perm!r} is not a permutation")
-    return matrix[perm]
+    return matrix[check_permutation(perm)]
 
 
 def _as_bytes(buf: np.ndarray) -> np.ndarray:

@@ -15,6 +15,7 @@ what the cost model charges (see ``tests/test_host_simd.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -100,6 +101,95 @@ def rotate_lanes_registerwise(row: np.ndarray, amount: int,
             out[block:block + len(src_lanes), col:col + width] = \
                 row[src_lanes, col:col + width]
     return out
+
+
+@lru_cache(maxsize=None)
+def _rotate_block_ops(lanes: int, amount: int) -> tuple[int, int]:
+    """Per-column (source-register loads, register stores) of one rotate.
+
+    :func:`rotate_lanes_registerwise`'s inner loop charges the same ops
+    for every column, so the whole matrix costs ``ncols`` times these
+    block sums; caching them lets the vectorized backend charge a
+    rotation without walking the blocks again.
+    """
+    amount %= lanes
+    lane_block = min(REGISTER_LANES, lanes)
+    loads = 0
+    stores = 0
+    for block in range(0, lanes, lane_block):
+        src_lanes = [(block + i - amount) % lanes
+                     for i in range(min(lane_block, lanes - block))]
+        loads += len({l // lane_block for l in src_lanes})
+        stores += 1
+    return loads, stores
+
+
+def count_rotate_ops(lanes: int, nbytes: int, amount: int,
+                     counter: SimdCounter) -> None:
+    """Charge exactly what ``rotate_lanes_registerwise`` would, datalessly."""
+    lane_block = min(REGISTER_LANES, lanes)
+    col_step = REGISTER_BYTES // lane_block
+    ncols = (nbytes + col_step - 1) // col_step
+    loads, stores = _rotate_block_ops(lanes, amount)
+    counter.loads += ncols * loads
+    counter.shuffles += ncols * loads
+    counter.stores += ncols * stores
+
+
+@lru_cache(maxsize=None)
+def _rotate_sweep_ops(lanes: int, nbytes: int,
+                      nslots: int) -> tuple[int, int, int]:
+    """(loads, shuffles, stores) of rotating slots ``0..nslots-1``."""
+    probe = SimdCounter()
+    for amount in range(nslots):
+        count_rotate_ops(lanes, nbytes, amount, probe)
+    return probe.loads, probe.shuffles, probe.stores
+
+
+def _charge_sweep(lanes: int, nbytes: int, nslots: int,
+                  counter: SimdCounter) -> None:
+    loads, shuffles, stores = _rotate_sweep_ops(lanes, nbytes, nslots)
+    counter.loads += loads
+    counter.shuffles += shuffles
+    counter.stores += stores
+
+
+def rotate_all_slots(tensor: np.ndarray,
+                     counter: SimdCounter | None = None) -> np.ndarray:
+    """Every slot's lane rotation in one gather: slot ``s`` rolls by ``s``.
+
+    ``tensor`` is a ``(lanes, nslots, chunk_bytes)`` uint8 array;
+    ``out[l, s] = tensor[(l - s) % lanes, s]``.  This is the batched
+    equivalent of calling :func:`rotate_lanes_registerwise` on each
+    slot's ``(lanes, chunk_bytes)`` row with ``amount = s``; the
+    counter is charged identically (cost parity is asserted by
+    ``tests/test_backend_parity.py``).
+    """
+    if tensor.ndim != 3 or tensor.dtype != np.uint8:
+        raise TransferError(
+            f"expected 3-D uint8 slot tensor, got {tensor.dtype} "
+            f"ndim={tensor.ndim}")
+    lanes, nslots, _chunk = tensor.shape
+    counter = counter if counter is not None else SimdCounter()
+    _charge_sweep(lanes, tensor.shape[2], nslots, counter)
+    src = (np.arange(lanes)[:, None] - np.arange(nslots)[None, :]) % lanes
+    return tensor[src, np.arange(nslots)[None, :], :]
+
+
+def fanout_all_slots(row: np.ndarray, nslots: int,
+                     counter: SimdCounter | None = None) -> np.ndarray:
+    """Stack ``nslots`` downward rotations of one lane row.
+
+    ``out[l, s] = row[(l - s) % lanes]``: the batched equivalent of
+    writing ``rotate_lanes_registerwise(row, s)`` per slot (the
+    AllGather fan-out), with identical counter charges.  Returns a
+    ``(lanes, nslots, row_bytes)`` array.
+    """
+    lanes, nbytes = _check_row(row)
+    counter = counter if counter is not None else SimdCounter()
+    _charge_sweep(lanes, nbytes, nslots, counter)
+    src = (np.arange(lanes)[:, None] - np.arange(nslots)[None, :]) % lanes
+    return row[src]
 
 
 def domain_transfer_registerwise(row: np.ndarray,

@@ -3,6 +3,11 @@
 Functional executions move real bytes through these arrays; analytic
 executions never touch them (the :class:`~repro.hw.system.DimmSystem`
 allocates memories lazily, so a 1024-PE analytic run costs nothing).
+
+Two storage layouts exist behind the same interface: the scalar
+backend's private-array :class:`PeMemory`, and the vectorized backend's
+:class:`ArenaPeMemory`, whose MRAM is a row of the system-wide
+lane-major :class:`~repro.hw.arena.MemoryArena`.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import AllocationError, TransferError
+from .arena import MemoryArena
 
 #: Default simulated MRAM size.  Real UPMEM banks hold 64 MiB; tests and
 #: examples use far less, and the size is configurable per system.
@@ -57,3 +63,25 @@ class PeMemory:
             raise TransferError(
                 f"MRAM access [{offset}, {offset + nbytes}) outside "
                 f"[0, {self.mram.size})")
+
+
+class ArenaPeMemory(PeMemory):
+    """One PE's handle into a shared lane-major :class:`MemoryArena`.
+
+    ``mram`` resolves to the PE's *current* arena row on every access,
+    so arena growth (which reallocates the backing array) can never
+    leave a stale alias behind.  WRAM stays a private per-PE scratchpad
+    exactly as in :class:`PeMemory`; all inherited accessors work
+    unchanged and read/write the shared arena.
+    """
+
+    def __init__(self, arena: MemoryArena, pe_id: int) -> None:
+        self.arena = arena
+        self.pe_id = pe_id
+        self.wram = np.zeros(WRAM_BYTES, dtype=np.uint8)
+        arena.touch((pe_id,))
+
+    @property
+    def mram(self) -> np.ndarray:
+        """This PE's bank: a zero-copy row view of the arena."""
+        return self.arena.row_view(self.pe_id)

@@ -19,6 +19,60 @@ from .memory import PeMemory
 WRAM_TILE_BYTES = 48 << 10
 
 
+def check_permutation(permutation: np.ndarray) -> np.ndarray:
+    """Validate a slot permutation in O(n); returns it as ``intp``.
+
+    A single ``np.bincount`` establishes that every value in
+    ``range(n)`` appears exactly once, replacing the earlier
+    sort-based check that ran per PE per step on the hot path.
+    """
+    perm = np.asarray(permutation)
+    n = perm.size
+    ok = perm.ndim == 1 and (n == 0 or (
+        np.issubdtype(perm.dtype, np.integer)
+        and int(perm.min()) >= 0 and int(perm.max()) < n
+        and bool((np.bincount(perm, minlength=n) == 1).all())))
+    if not ok:
+        raise TransferError(f"{perm!r} is not a permutation")
+    return perm.astype(np.intp, copy=False)
+
+
+def check_permutation_rows(permutations: np.ndarray) -> np.ndarray:
+    """Validate a ``(rows, nslots)`` batch of permutations in one pass.
+
+    Each row must permute ``range(nslots)``; checked with a single
+    offset-``bincount`` over the whole matrix.  Returns the batch as
+    ``intp``.
+    """
+    perms = np.asarray(permutations)
+    if perms.ndim != 2:
+        raise TransferError(
+            f"expected a (rows, nslots) permutation matrix, got shape "
+            f"{perms.shape}")
+    nrows, nslots = perms.shape
+    if perms.size == 0:
+        return perms.astype(np.intp, copy=False)
+    ok = (np.issubdtype(perms.dtype, np.integer)
+          and int(perms.min()) >= 0 and int(perms.max()) < nslots)
+    if ok:
+        keyed = perms + (np.arange(nrows, dtype=np.intp)[:, None] * nslots)
+        counts = np.bincount(keyed.reshape(-1), minlength=nrows * nslots)
+        ok = bool((counts == 1).all())
+    if not ok:
+        bad = next(r for r in range(nrows)
+                   if _is_bad_permutation(perms[r]))
+        raise TransferError(f"{perms[bad]!r} is not a permutation")
+    return perms.astype(np.intp, copy=False)
+
+
+def _is_bad_permutation(perm: np.ndarray) -> bool:
+    try:
+        check_permutation(perm)
+    except TransferError:
+        return True
+    return False
+
+
 def wram_copy(memory: PeMemory, src_offset: int, dst_offset: int,
               nbytes: int, tile_bytes: int = WRAM_TILE_BYTES) -> int:
     """Copy an MRAM range through WRAM tiles; returns tiles used.
@@ -59,10 +113,8 @@ def wram_permute_chunks(memory: PeMemory, src_offset: int, dst_offset: int,
     via a cycle decomposition so no chunk is overwritten before it is
     read.  Returns the number of WRAM tiles moved.
     """
-    perm = np.asarray(permutation)
+    perm = check_permutation(permutation)
     nslots = perm.size
-    if sorted(perm.tolist()) != list(range(nslots)):
-        raise TransferError(f"{perm!r} is not a permutation")
     total = nslots * chunk_bytes
     tiles = 0
     src_end = src_offset + total
@@ -105,3 +157,46 @@ def wram_permute_chunks(memory: PeMemory, src_offset: int, dst_offset: int,
 
 def _tiles_for(nbytes: int, tile_bytes: int) -> int:
     return (nbytes + tile_bytes - 1) // tile_bytes
+
+
+# ----------------------------------------------------------------------
+# Batched (vectorized-backend) variants
+# ----------------------------------------------------------------------
+def permute_chunks_batched(data: np.ndarray,
+                           perms: np.ndarray) -> np.ndarray:
+    """Apply one slot permutation per row, as a single gather.
+
+    ``data`` is ``(rows, nslots, chunk_bytes)`` and row ``r`` of the
+    result is ``data[r, perms[r]]`` -- i.e. ``new[i] = old[perm[i]]``,
+    exactly :func:`wram_permute_chunks`'s semantics applied to every
+    PE of a group at once.  ``perms`` must already be validated (see
+    :func:`check_permutation_rows`).
+    """
+    if data.ndim != 3:
+        raise TransferError(
+            f"expected (rows, nslots, chunk) data, got shape {data.shape}")
+    if perms.shape != data.shape[:2]:
+        raise TransferError(
+            f"permutation matrix {perms.shape} does not match data "
+            f"{data.shape[:2]}")
+    rows = np.arange(data.shape[0], dtype=np.intp)[:, None]
+    return data[rows, perms]
+
+
+def batched_permute_tiles(perms: np.ndarray, chunk_bytes: int,
+                          tile_bytes: int = WRAM_TILE_BYTES,
+                          in_place: bool = False) -> int:
+    """WRAM tiles the per-PE execution of ``perms`` would move.
+
+    The batched kernel does not stage chunks through WRAM, but charges
+    exactly what :func:`wram_permute_chunks` would: out-of-place, every
+    slot is one tiled copy; in place, the cycle walk moves one tiled
+    copy per non-fixed slot (fixed points cost nothing).
+    """
+    if chunk_bytes == 0 or perms.size == 0:
+        return 0
+    per_chunk = _tiles_for(chunk_bytes, tile_bytes)
+    if not in_place:
+        return perms.size * per_chunk
+    moved = int((perms != np.arange(perms.shape[-1])).sum())
+    return moved * per_chunk

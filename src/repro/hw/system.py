@@ -8,6 +8,16 @@ This is the substrate every higher layer builds on.  It exposes
 * lane-matrix reads/writes over ordered PE lists (the host's burst view
   used by the collective engine), and
 * lazy per-PE memory so analytic (cost-only) runs allocate nothing.
+
+Two execution backends sit behind the same API:
+
+* ``"scalar"`` -- each PE owns a private :class:`PeMemory`; lane
+  transfers loop over PEs.  Simple, and the correctness oracle.
+* ``"vectorized"`` -- all touched PEs' banks live in one lane-major
+  :class:`~repro.hw.arena.MemoryArena`; lane transfers, broadcasts and
+  PE-local permutations are single numpy operations over the whole PE
+  list.  Results and cost accounting are bit-identical to scalar
+  (``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -18,12 +28,32 @@ import numpy as np
 
 from ..dtypes import DataType
 from ..errors import AllocationError, TransferDropped, TransferError
+from ..reliability.checksum import guarded_delivery
+from ..reliability.faults import partial_prefix
+from .arena import MemoryArena
 from .geometry import DimmGeometry
-from .memory import MRAM_DEFAULT_BYTES, PeMemory
+from .memory import MRAM_DEFAULT_BYTES, WRAM_BYTES, ArenaPeMemory, PeMemory
+from .pe import (
+    WRAM_TILE_BYTES,
+    batched_permute_tiles,
+    check_permutation_rows,
+    permute_chunks_batched,
+    wram_permute_chunks,
+)
 from .timing import MachineParams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..reliability.faults import FaultInjector
+
+#: Execution backends selectable per system (and per Communicator).
+BACKENDS = ("scalar", "vectorized")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise AllocationError(
+            f"unknown backend {backend!r}; known: {BACKENDS}")
+    return backend
 
 
 class DimmSystem:
@@ -34,6 +64,8 @@ class DimmSystem:
             1024-PE testbed.
         params: Machine cost parameters for pricing plans.
         mram_bytes: Simulated MRAM size per PE (functional runs only).
+        backend: ``"scalar"`` (per-PE arrays, the oracle) or
+            ``"vectorized"`` (lane-major arena, batched transfers).
     """
 
     def __init__(
@@ -41,10 +73,13 @@ class DimmSystem:
         geometry: DimmGeometry | None = None,
         params: MachineParams | None = None,
         mram_bytes: int = MRAM_DEFAULT_BYTES,
+        backend: str = "scalar",
     ) -> None:
         self.geometry = geometry or DimmGeometry()
         self.params = params or MachineParams()
         self.mram_bytes = mram_bytes
+        self._backend = _check_backend(backend)
+        self._arena: MemoryArena | None = None
         self._memories: dict[int, PeMemory] = {}
         self._alloc_cursor = 0
         #: Optional fault source consulted by every lane transfer (and
@@ -63,19 +98,21 @@ class DimmSystem:
     # ------------------------------------------------------------------
     @classmethod
     def paper_testbed(cls, params: MachineParams | None = None,
-                      mram_bytes: int = 64 << 20) -> "DimmSystem":
+                      mram_bytes: int = 64 << 20,
+                      backend: str = "scalar") -> "DimmSystem":
         """The evaluation system: 4 ch x 4 rk x 8 chips x 8 banks.
 
         MRAM defaults to the real UPMEM bank size (64 MiB); memories
         are lazy, so analytic runs still allocate nothing.
         """
-        return cls(DimmGeometry(4, 4, 8, 8), params, mram_bytes)
+        return cls(DimmGeometry(4, 4, 8, 8), params, mram_bytes, backend)
 
     @classmethod
     def small(cls, params: MachineParams | None = None,
-              mram_bytes: int = MRAM_DEFAULT_BYTES) -> "DimmSystem":
+              mram_bytes: int = MRAM_DEFAULT_BYTES,
+              backend: str = "scalar") -> "DimmSystem":
         """A small system for tests: 2 ch x 1 rk x 4 chips x 4 banks = 32 PEs."""
-        return cls(DimmGeometry(2, 1, 4, 4), params, mram_bytes)
+        return cls(DimmGeometry(2, 1, 4, 4), params, mram_bytes, backend)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -111,14 +148,91 @@ class DimmSystem:
         self.geometry._check_pe(pe_id)
         mem = self._memories.get(pe_id)
         if mem is None:
-            mem = PeMemory(self.mram_bytes)
+            if self.vectorized:
+                mem = ArenaPeMemory(self._ensure_arena(), pe_id)
+            else:
+                mem = PeMemory(self.mram_bytes)
             self._memories[pe_id] = mem
         return mem
 
     @property
     def touched_pes(self) -> int:
         """How many PEs have materialized memories (test/debug aid)."""
+        if self.vectorized:
+            # Bulk transfers touch arena rows without creating per-PE
+            # handle objects; the arena's touched set is the truth.
+            return self._arena.touched_count if self._arena else 0
         return len(self._memories)
+
+    # ------------------------------------------------------------------
+    # Execution backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Active execution backend name (see :data:`BACKENDS`)."""
+        return self._backend
+
+    @property
+    def vectorized(self) -> bool:
+        """True when the lane-major arena backend is active."""
+        return self._backend == "vectorized"
+
+    @property
+    def arena(self) -> MemoryArena | None:
+        """The lane-major arena, if the vectorized backend has one live."""
+        return self._arena
+
+    def _ensure_arena(self) -> MemoryArena:
+        arena = self._arena
+        if arena is None:
+            arena = MemoryArena(self.mram_bytes, self.num_pes)
+            self._arena = arena
+        return arena
+
+    def _lane_ids(self, pe_ids: Sequence[int]) -> np.ndarray:
+        """Validate an ordered PE list once, as an index array."""
+        ids = np.asarray(pe_ids, dtype=np.intp).reshape(-1)
+        if ids.size:
+            lo, hi = int(ids.min()), int(ids.max())
+            if lo < 0:
+                self.geometry._check_pe(lo)
+            if hi >= self.num_pes:
+                self.geometry._check_pe(hi)
+        return ids
+
+    def set_backend(self, backend: str) -> "DimmSystem":
+        """Switch execution backends in place; returns self.
+
+        All live PE state (MRAM contents, WRAM scratchpads, the touched
+        set) migrates across, so a mid-run switch is transparent.
+        Untouched PEs stay unallocated in both directions.
+        """
+        _check_backend(backend)
+        if backend == self._backend:
+            return self
+        old_memories = self._memories
+        old_arena = self._arena
+        self._memories = {}
+        self._backend = backend
+        if backend == "vectorized":
+            self._arena = None
+            arena = self._ensure_arena()
+            for pe, mem in old_memories.items():
+                fresh = ArenaPeMemory(arena, pe)
+                fresh.mram[:] = mem.mram
+                fresh.wram[:] = mem.wram
+                self._memories[pe] = fresh
+        else:
+            self._arena = None
+            if old_arena is not None:
+                for pe in old_arena.touched_ids():
+                    fresh = PeMemory(self.mram_bytes)
+                    fresh.mram[:] = old_arena.row_view(pe)
+                    prev = old_memories.get(pe)
+                    if prev is not None:
+                        fresh.wram[:] = prev.wram
+                    self._memories[pe] = fresh
+        return self
 
     # ------------------------------------------------------------------
     # Per-PE typed access (the PE's own element view of its bank)
@@ -149,15 +263,18 @@ class DimmSystem:
         is PE ``pe_ids[i]``'s bytes.  This is the raw (PIM-domain) view
         a domain-transfer-free host transfer produces.
         """
-        if not pe_ids:
+        if not len(pe_ids):
             raise TransferError("read_lanes over an empty PE list")
         injector = self.fault_injector
         if injector is not None:
             injector.guard_pes(self.geometry, pe_ids)
-        rows = [self.memory(pe).read(offset, nbytes) for pe in pe_ids]
-        matrix = np.stack(rows, axis=0)
+        if self.vectorized:
+            matrix = self._ensure_arena().read_rows(
+                self._lane_ids(pe_ids), offset, nbytes)
+        else:
+            rows = [self.memory(pe).read(offset, nbytes) for pe in pe_ids]
+            matrix = np.stack(rows, axis=0)
         if injector is not None:
-            from ..reliability.checksum import guarded_delivery
             matrix = guarded_delivery(injector, matrix, "read_lanes")
         return matrix
 
@@ -173,19 +290,26 @@ class DimmSystem:
                 f"lane matrix has {mat.shape[0]} rows for {len(pe_ids)} PEs")
         injector = self.fault_injector
         if injector is not None:
-            from ..reliability.checksum import guarded_delivery
-            from ..reliability.faults import partial_prefix
             injector.guard_pes(self.geometry, pe_ids)
             if injector.take_drop():
                 # Partial delivery: a prefix of the lanes lands before
                 # the burst is abandoned, then the fault surfaces.
                 reached = partial_prefix(list(pe_ids))
-                for row, pe in zip(mat, reached):
-                    self.memory(pe).write(offset, row)
+                if self.vectorized:
+                    self._ensure_arena().write_rows(
+                        self._lane_ids(reached), offset,
+                        mat[:len(reached)])
+                else:
+                    for row, pe in zip(mat, reached):
+                        self.memory(pe).write(offset, row)
                 raise TransferDropped(
                     f"write_lanes dropped after {len(reached)}/"
                     f"{len(pe_ids)} lanes")
             mat = guarded_delivery(injector, mat, "write_lanes", drop=False)
+        if self.vectorized:
+            self._ensure_arena().write_rows(self._lane_ids(pe_ids), offset,
+                                            mat)
+            return
         for row, pe in zip(mat, pe_ids):
             self.memory(pe).write(offset, row)
 
@@ -200,13 +324,99 @@ class DimmSystem:
         if len(pes) != len(per_pe_values):
             raise TransferError(
                 f"{len(pes)} PEs but {len(per_pe_values)} payloads")
+        if self.vectorized and pes:
+            arrays = []
+            for values in per_pe_values:
+                arr = np.ascontiguousarray(values, dtype=dtype.np_dtype)
+                if arr.ndim != 1:
+                    raise TransferError(
+                        f"expected 1-D values, got shape {arr.shape}")
+                arrays.append(arr)
+            if len({arr.size for arr in arrays}) == 1:
+                # Equal-length payloads: one stack + reshape is the
+                # whole scatter.  Ragged payloads (rare) fall through
+                # to the per-PE path below.
+                self._ensure_arena().write_rows(
+                    self._lane_ids(pes), offset,
+                    np.stack(arrays).view(np.uint8))
+                return
         for pe, values in zip(pes, per_pe_values):
             self.write_elements(pe, offset, values, dtype)
 
     def gather_elements(self, pe_ids: Iterable[int], offset: int,
                         count: int, dtype: DataType) -> list[np.ndarray]:
         """Read ``count`` elements from each PE (functional only)."""
-        return [self.read_elements(pe, offset, count, dtype) for pe in pe_ids]
+        pes = list(pe_ids)
+        if self.vectorized and pes:
+            raw = self._ensure_arena().read_rows(
+                self._lane_ids(pes), offset, count * dtype.itemsize)
+            return list(raw.view(dtype.np_dtype))
+        return [self.read_elements(pe, offset, count, dtype) for pe in pes]
+
+    def fill_lanes(self, pe_ids: Sequence[int], offset: int,
+                   data: np.ndarray) -> None:
+        """Write one uint8 buffer to every listed PE (broadcast image)."""
+        buf = np.asarray(data)
+        if buf.dtype != np.uint8 or buf.ndim != 1:
+            raise TransferError(
+                f"MRAM writes take 1-D uint8 buffers, got {buf.dtype} "
+                f"ndim={buf.ndim}")
+        if self.vectorized:
+            self._ensure_arena().fill_rows(self._lane_ids(pe_ids), offset,
+                                           buf)
+            return
+        for pe in pe_ids:
+            self.memory(pe).write(offset, buf)
+
+    # ------------------------------------------------------------------
+    # PE-local kernels over ordered PE lists
+    # ------------------------------------------------------------------
+    def permute_chunks(self, pe_ids: Sequence[int], src_offset: int,
+                       dst_offset: int, chunk_bytes: int,
+                       permutations: np.ndarray,
+                       tile_bytes: int = WRAM_TILE_BYTES) -> int:
+        """Run the PE-local chunk-permutation kernel on an ordered PE list.
+
+        Row ``i`` of ``permutations`` is the slot permutation PE
+        ``pe_ids[i]`` applies (``new[s] = old[perm[s]]``).  The scalar
+        backend stages every chunk through each PE's WRAM in bounded
+        tiles (the honest per-PE kernel); the vectorized backend
+        applies one batched gather over the whole list while charging
+        exactly the WRAM tiles the per-PE kernels would move.  Returns
+        the total tile count.
+        """
+        perms = np.asarray(permutations)
+        if perms.ndim != 2 or perms.shape[0] != len(pe_ids):
+            raise TransferError(
+                f"permutation matrix of shape {perms.shape} does not "
+                f"match {len(pe_ids)} PEs")
+        if not self.vectorized:
+            total = 0
+            for pe, perm in zip(pe_ids, perms):
+                total += wram_permute_chunks(
+                    self.memory(pe), src_offset, dst_offset, chunk_bytes,
+                    perm, tile_bytes)
+            return total
+        perms = check_permutation_rows(perms)
+        if tile_bytes <= 0 or tile_bytes > WRAM_BYTES:
+            raise TransferError(
+                f"tile of {tile_bytes}B does not fit the {WRAM_BYTES}B WRAM")
+        nslots = perms.shape[1]
+        total_bytes = nslots * chunk_bytes
+        overlapping = (src_offset < dst_offset + total_bytes
+                       and dst_offset < src_offset + total_bytes)
+        if overlapping and src_offset != dst_offset:
+            raise TransferError(
+                "partially overlapping permute ranges are not supported")
+        ids = self._lane_ids(pe_ids)
+        arena = self._ensure_arena()
+        data = arena.read_rows(ids, src_offset, total_bytes).reshape(
+            ids.size, nslots, chunk_bytes)
+        arena.write_rows(ids, dst_offset,
+                         permute_chunks_batched(data, perms).reshape(
+                             ids.size, total_bytes))
+        return batched_permute_tiles(perms, chunk_bytes, tile_bytes,
+                                     in_place=overlapping)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DimmSystem({self.geometry.describe()})"

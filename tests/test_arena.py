@@ -1,0 +1,151 @@
+"""Unit tests for the lane-major MRAM arena backing the vectorized backend.
+
+Covers the properties the backend relies on: zero-copy views for
+contiguous/strided PE runs, gather fallbacks for scattered lists, lazy
+geometric growth with re-basing that preserves data, bounds checking
+with the same error types the scalar path raises, and the
+``ArenaPeMemory`` adapter staying valid across arena reallocations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, TransferError
+from repro.hw.arena import MemoryArena
+from repro.hw.memory import ArenaPeMemory
+
+
+def _stamp(arena, pe_id, value):
+    arena.row_view(pe_id)[:] = value
+
+
+class TestViews:
+    def test_contiguous_run_is_zero_copy(self):
+        arena = MemoryArena(mram_bytes=64, max_rows=32)
+        view = arena.lane_view([4, 5, 6, 7], offset=8, nbytes=16)
+        assert view is not None
+        assert view.shape == (4, 16)
+        assert np.shares_memory(view, arena._data)
+        view[:] = 9
+        assert (arena.read_rows([4, 5, 6, 7], 8, 16) == 9).all()
+
+    def test_strided_run_is_zero_copy(self):
+        arena = MemoryArena(mram_bytes=64, max_rows=32)
+        view = arena.lane_view([2, 6, 10, 14], offset=0, nbytes=4)
+        assert view is not None
+        assert view.shape == (4, 4)
+        assert np.shares_memory(view, arena._data)
+
+    def test_single_pe_is_zero_copy(self):
+        arena = MemoryArena(mram_bytes=64, max_rows=32)
+        view = arena.lane_view([5], offset=32, nbytes=32)
+        assert view is not None
+        assert view.shape == (1, 32)
+        assert np.shares_memory(view, arena._data)
+
+    def test_scattered_list_returns_none(self):
+        arena = MemoryArena(mram_bytes=64, max_rows=32)
+        assert arena.lane_view([1, 2, 4], 0, 8) is None     # uneven stride
+        assert arena.lane_view([4, 3, 2], 0, 8) is None     # descending
+        assert arena.lane_view([1, 1, 2], 0, 8) is None     # repeated
+
+    def test_gather_fallback_matches_rows(self):
+        arena = MemoryArena(mram_bytes=16, max_rows=32)
+        for pe in (3, 7, 1):
+            _stamp(arena, pe, pe * 10)
+        got = arena.read_rows([7, 1, 3], 4, 8)
+        np.testing.assert_array_equal(got[:, 0], [70, 10, 30])
+        assert not np.shares_memory(got, arena._data)
+
+    def test_scatter_fallback_writes_rows(self):
+        arena = MemoryArena(mram_bytes=16, max_rows=32)
+        mat = np.arange(3 * 4, dtype=np.uint8).reshape(3, 4)
+        arena.write_rows([9, 2, 5], 4, mat)
+        np.testing.assert_array_equal(arena.read_rows([9, 2, 5], 4, 4), mat)
+        # Bytes outside the window stay zero.
+        assert (arena.read_rows([9, 2, 5], 0, 4) == 0).all()
+
+
+class TestGrowth:
+    def test_lazy_until_touched(self):
+        arena = MemoryArena(mram_bytes=1024, max_rows=4096)
+        assert arena._data.shape[0] == 0
+        assert arena.touched_count == 0
+
+    def test_growth_preserves_data(self):
+        arena = MemoryArena(mram_bytes=8, max_rows=1024)
+        _stamp(arena, 100, 42)
+        _stamp(arena, 900, 7)   # forces growth upward
+        _stamp(arena, 3, 5)     # forces re-basing downward
+        assert (arena.row_view(100) == 42).all()
+        assert (arena.row_view(900) == 7).all()
+        assert (arena.row_view(3) == 5).all()
+        assert arena.touched_ids() == [3, 100, 900]
+
+    def test_incremental_touch_grows_geometrically(self):
+        arena = MemoryArena(mram_bytes=8, max_rows=1 << 16)
+        allocations = 0
+        last = None
+        for pe in range(1000):
+            arena.touch((pe,))
+            if arena._data.shape[0] != last:
+                allocations += 1
+                last = arena._data.shape[0]
+        assert allocations <= 16  # O(log n), not O(n)
+
+    def test_touch_out_of_range_raises(self):
+        arena = MemoryArena(mram_bytes=8, max_rows=16)
+        with pytest.raises(AllocationError):
+            arena.touch((16,))
+        with pytest.raises(AllocationError):
+            arena.touch((-1,))
+
+    def test_fill_rows_broadcasts(self):
+        arena = MemoryArena(mram_bytes=16, max_rows=32)
+        buf = np.arange(4, dtype=np.uint8)
+        arena.fill_rows([0, 1, 2, 3], 8, buf)       # view path
+        arena.fill_rows([10, 5, 20], 8, buf)        # scatter path
+        for pe in (0, 1, 2, 3, 10, 5, 20):
+            np.testing.assert_array_equal(arena.read_rows([pe], 8, 4)[0], buf)
+
+
+class TestBounds:
+    def test_span_outside_bank_raises(self):
+        arena = MemoryArena(mram_bytes=64, max_rows=8)
+        with pytest.raises(TransferError):
+            arena.read_rows([0], 60, 8)
+        with pytest.raises(TransferError):
+            arena.lane_view([0], -1, 4)
+
+    def test_write_rows_validates_matrix(self):
+        arena = MemoryArena(mram_bytes=64, max_rows=8)
+        with pytest.raises(TransferError):
+            arena.write_rows([0, 1], 0, np.zeros((2, 4), dtype=np.int32))
+        with pytest.raises(TransferError):
+            arena.write_rows([0, 1], 0, np.zeros((3, 4), dtype=np.uint8))
+
+    def test_constructor_validates(self):
+        with pytest.raises(AllocationError):
+            MemoryArena(mram_bytes=0, max_rows=4)
+        with pytest.raises(AllocationError):
+            MemoryArena(mram_bytes=8, max_rows=0)
+
+
+class TestArenaPeMemory:
+    def test_mram_survives_arena_growth(self):
+        arena = MemoryArena(mram_bytes=32, max_rows=1024)
+        mem = ArenaPeMemory(arena, pe_id=2)
+        mem.mram[:] = 11
+        # Growing the arena reallocates the backing array; the property
+        # must re-derive the row rather than hand back a stale alias.
+        arena.touch((1000,))
+        assert (mem.mram == 11).all()
+        mem.mram[0] = 99
+        assert arena.row_view(2)[0] == 99
+
+    def test_wram_stays_private(self):
+        arena = MemoryArena(mram_bytes=32, max_rows=8)
+        a = ArenaPeMemory(arena, pe_id=0)
+        b = ArenaPeMemory(arena, pe_id=1)
+        a.wram[:8] = 1
+        assert (b.wram[:8] == 0).all()

@@ -52,7 +52,8 @@ def _random_case(rng: np.random.Generator) -> dict:
 
 
 def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
-             dtype, chunk: int, config, injector=None):
+             dtype, chunk: int, config, injector=None,
+             backend: str = "scalar"):
     """One randomized collective, checked bit-exactly against reference.
 
     Returns the engine's CommResult (so fault sweeps can inspect
@@ -60,7 +61,8 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
     """
     manager = make_manager(shape)
     system = manager.system
-    comm = Communicator(manager, config=config, fault_injector=injector)
+    comm = Communicator(manager, config=config, fault_injector=injector,
+                        backend=backend)
     bitmap = _random_bitmap(rng, manager.ndim)
     groups = groups_of(manager, bitmap)
     n = groups[0].size
@@ -130,26 +132,31 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
     return result
 
 
-def _sweep(seed: int, cases: int, injector_factory=None) -> list:
+def _sweep(seed: int, cases: int, injector_factory=None,
+           backend: str = "scalar") -> list:
     rng = np.random.default_rng(seed)
     results = []
     for _ in range(cases):
         case = _random_case(rng)
         injector = injector_factory() if injector_factory else None
-        results.append(run_case(rng, injector=injector, **case))
+        results.append(run_case(rng, injector=injector, backend=backend,
+                                **case))
     return results
 
 
 class TestHealthySweep:
-    def test_random_cases_match_reference(self):
-        _sweep(seed=2024, cases=32)
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_random_cases_match_reference(self, backend):
+        _sweep(seed=2024, cases=32, backend=backend)
 
-    def test_every_primitive_covered(self):
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_every_primitive_covered(self, backend):
         # The randomized sweep must not silently skip a primitive:
         # enumerate all eight explicitly at a fixed shape/config.
         rng = np.random.default_rng(5)
         for primitive in PRIMITIVES:
-            run_case(rng, primitive, (4, 8), INT64, 2, FULL)
+            run_case(rng, primitive, (4, 8), INT64, 2, FULL,
+                     backend=backend)
 
     def test_replay_is_deterministic(self):
         a = [r.plan.primitive for r in _sweep(seed=11, cases=8)]
@@ -158,10 +165,13 @@ class TestHealthySweep:
 
 
 class TestFaultedSweep:
-    def test_one_percent_faults_still_bit_exact(self):
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_one_percent_faults_still_bit_exact(self, backend):
         # ISSUE acceptance: ~1% per-operation transient fault pressure,
         # every primitive completes bit-identical to the reference, and
-        # at least one request needed a retry.
+        # at least one request needed a retry.  The two backends draw
+        # different fault schedules (fewer transfers -> fewer draws),
+        # but detection + rewind keeps both bit-exact regardless.
         counter = [0]
 
         def injector_factory():
@@ -170,12 +180,15 @@ class TestFaultedSweep:
                                  bit_flip_rate=0.004, drop_rate=0.003,
                                  timeout_rate=0.003)
 
-        results = _sweep(seed=77, cases=24, injector_factory=injector_factory)
+        results = _sweep(seed=77, cases=24,
+                         injector_factory=injector_factory,
+                         backend=backend)
         assert all(r is not None for r in results)
         assert any(r.attempts > 1 for r in results), \
             "fault sweep never exercised a retry; tune seed/rates"
 
-    def test_each_primitive_retries_to_exactness(self):
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_each_primitive_retries_to_exactness(self, backend):
         # Deterministic per-primitive check under heavier pressure.
         rng = np.random.default_rng(13)
         attempts = []
@@ -183,7 +196,7 @@ class TestFaultedSweep:
             injector = FaultInjector(seed=100 + i, timeout_rate=0.1,
                                      bit_flip_rate=0.05)
             result = run_case(rng, primitive, (4, 8), INT32, 2, BASELINE,
-                              injector=injector)
+                              injector=injector, backend=backend)
             attempts.append(result.attempts)
         assert max(attempts) > 1
 
