@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Benchmark compiled program replay vs. interpreted execution.
+
+Runs the four dense collectives functionally with the session engine in
+``execution="compiled"`` and ``execution="interpreted"`` mode (both on
+the vectorized backend) across PE counts.  Before timing, every case is
+checked bit-exact against the *scalar interpreted* oracle -- outputs,
+``CostLedger`` breakdown, SIMD register counters, and WRAM tile counts
+-- so the compile stage can never trade correctness or cost fidelity
+for speed.  Timing measures the steady state: the plan and program are
+compiled once on a warmup call, then the timed loop replays the cached
+program (zero index math, zero validation, a short sequence of numpy
+dispatches).
+
+The script exits non-zero if any parity check fails or the headline
+steady-state speedup falls below the regression threshold (>= 2x for
+the full 1024-PE AlltoAll *and* AllReduce runs, >= 1.2x at 256 PEs for
+``--smoke``), so CI can run it as a regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_compile.py --smoke
+    PYTHONPATH=src python benchmarks/bench_compile.py   # full sweep
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import Communicator, DimmGeometry, DimmSystem, HypercubeManager
+from repro.core.groups import slice_groups
+from repro.dtypes import INT64, SUM
+
+MRAM_BYTES = 1 << 15
+ELEM = INT64.itemsize
+
+GEOMETRIES = {
+    64: DimmGeometry(1, 1, 8, 8),
+    256: DimmGeometry(2, 2, 8, 8),
+    1024: DimmGeometry(4, 4, 8, 8),
+}
+
+#: collective -> (total bytes per PE, output elems per PE, needs reduce op)
+SPECS = {
+    "alltoall": (lambda n: n * ELEM, lambda n: n, False),
+    "allgather": (lambda n: ELEM, lambda n: n, False),
+    "reduce_scatter": (lambda n: n * ELEM, lambda n: 1, True),
+    "allreduce": (lambda n: n * ELEM, lambda n: n, True),
+}
+
+
+def setup(npes, backend, execution):
+    """Fresh system + communicator for one run."""
+    system = DimmSystem(GEOMETRIES[npes], mram_bytes=MRAM_BYTES,
+                        backend=backend)
+    manager = HypercubeManager(system, shape=(npes,))
+    comm = Communicator(manager, execution=execution)
+    pe_ids = slice_groups(manager, "1")[0].pe_ids
+    return system, comm, pe_ids
+
+
+def fill_inputs(system, pe_ids, nbytes, seed):
+    """Seeded per-PE int64 inputs at offset 0; returns them rank-ordered."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-99, 100, (len(pe_ids), nbytes // ELEM),
+                          dtype=np.int64)
+    system.scatter_elements(pe_ids, 0, list(values), INT64)
+    return values
+
+
+def invoke(comm, collective, npes):
+    """One functional collective; src at 0, dst right after it."""
+    total_fn, _, needs_op = SPECS[collective]
+    total = total_fn(npes)
+    kwargs = {"reduction_type": SUM} if needs_op else {}
+    return getattr(comm, collective)(
+        "1", total, src_offset=0, dst_offset=total, data_type=INT64,
+        **kwargs)
+
+
+def check_parity(collective, npes, seed=11):
+    """Compiled replay vs. the scalar interpreted oracle, bit-exact."""
+    total_fn, out_fn, _ = SPECS[collective]
+    total, out_elems = total_fn(npes), out_fn(npes)
+    runs = {}
+    for mode, backend, execution in (
+            ("oracle", "scalar", "interpreted"),
+            ("compiled", "vectorized", "compiled")):
+        system, comm, pe_ids = setup(npes, backend, execution)
+        inputs = fill_inputs(system, pe_ids, total, seed)
+        invoke(comm, collective, npes)  # compile + first execution
+        fill_inputs(system, pe_ids, total, seed)
+        result = invoke(comm, collective, npes)  # steady-state path
+        outputs = np.stack(system.gather_elements(pe_ids, total, out_elems,
+                                                  INT64))
+        runs[mode] = (inputs, outputs, result)
+    _, oracle_out, oracle_res = runs["oracle"]
+    _, compiled_out, compiled_res = runs["compiled"]
+    label = f"{collective}@{npes}"
+    if compiled_res.execution != "compiled":
+        raise SystemExit(f"PARITY FAIL {label}: replay did not engage")
+    if not np.array_equal(oracle_out, compiled_out):
+        raise SystemExit(f"PARITY FAIL {label}: outputs diverge")
+    if oracle_res.ledger.breakdown() != compiled_res.ledger.breakdown():
+        raise SystemExit(f"PARITY FAIL {label}: cost ledgers differ")
+    if oracle_res.simd != compiled_res.simd:
+        raise SystemExit(f"PARITY FAIL {label}: SIMD counters differ")
+    if oracle_res.wram_tiles != compiled_res.wram_tiles:
+        raise SystemExit(f"PARITY FAIL {label}: WRAM tile counts differ")
+
+
+def time_execution(collective, npes, execution, iters, seed=5):
+    """Mean steady-state seconds per collective on the vectorized backend."""
+    system, comm, pe_ids = setup(npes, "vectorized", execution)
+    total_fn, _, _ = SPECS[collective]
+    fill_inputs(system, pe_ids, total_fn(npes), seed)
+    invoke(comm, collective, npes)  # warm plan + program caches
+    start = time.perf_counter()
+    for _ in range(iters):
+        invoke(comm, collective, npes)
+    return (time.perf_counter() - start) / iters
+
+
+def main(argv=None):
+    """Parse args, run the sweep, write the JSON report, gate thresholds."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast sweep for CI (256 PEs, 2 "
+                             "collectives, >=1.2x gate)")
+    parser.add_argument("--out", default="BENCH_compile.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        pe_counts = (256,)
+        collectives = ("alltoall", "allreduce")
+        headline_cases, threshold = ("alltoall@256", "allreduce@256"), 1.2
+        iters = 20
+    else:
+        pe_counts = (64, 256, 1024)
+        collectives = tuple(SPECS)
+        headline_cases, threshold = ("alltoall@1024", "allreduce@1024"), 2.0
+        iters = 30
+
+    results = []
+    speedups = {}
+    for npes in pe_counts:
+        for collective in collectives:
+            label = f"{collective}@{npes}"
+            print(f"[parity] {label} ...", flush=True)
+            check_parity(collective, npes)
+            timings = {}
+            for execution in ("interpreted", "compiled"):
+                seconds = time_execution(collective, npes, execution, iters)
+                timings[execution] = seconds
+                results.append({
+                    "collective": collective, "npes": npes,
+                    "backend": "vectorized", "execution": execution,
+                    "iters": iters, "seconds_per_op": seconds,
+                    "ops_per_sec": 1.0 / seconds,
+                })
+            speedups[label] = timings["interpreted"] / timings["compiled"]
+            print(f"[timing] {label}: interpreted "
+                  f"{timings['interpreted'] * 1e3:.3f}ms, compiled "
+                  f"{timings['compiled'] * 1e3:.3f}ms "
+                  f"({speedups[label]:.2f}x)", flush=True)
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "dtype": "int64", "chunk_bytes": ELEM,
+        "backend": "vectorized",
+        "parity": "bit-exact vs scalar interpreted oracle "
+                  "(outputs, ledger, simd, wram_tiles)",
+        "headline": {"cases": list(headline_cases),
+                     "threshold": threshold,
+                     "speedups": {c: speedups[c] for c in headline_cases}},
+        "speedups": speedups,
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failed = [c for c in headline_cases if speedups[c] < threshold]
+    if failed:
+        for case in failed:
+            print(f"REGRESSION: {case} steady-state speedup "
+                  f"{speedups[case]:.2f}x < {threshold:.1f}x",
+                  file=sys.stderr)
+        return 1
+    for case in headline_cases:
+        print(f"OK: {case} steady-state speedup {speedups[case]:.2f}x "
+              f">= {threshold:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 from .config import ABLATION_LADDER, BASELINE, FULL, PR_IM, PR_ONLY, OptConfig
 from .plan import CommPlan, ExecContext, Step
+from .program import CommProgram, ProgramOp, compile_plan
 from .planner import (
     AR_SCRATCH,
     GATHER_SCRATCH,
@@ -20,6 +21,7 @@ from .planner import (
 __all__ = [
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
     "CommPlan", "ExecContext", "Step",
+    "CommProgram", "ProgramOp", "compile_plan",
     "PLANNERS", "AR_SCRATCH", "GATHER_SCRATCH", "REDUCE_SCRATCH",
     "plan_alltoall", "plan_allgather", "plan_reduce_scatter",
     "plan_allreduce", "plan_gather", "plan_scatter", "plan_reduce",

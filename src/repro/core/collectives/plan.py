@@ -53,6 +53,18 @@ class Step(abc.ABC):
     def cost(self, system: DimmSystem) -> CostLedger:
         """Modelled cost of this step on ``system``."""
 
+    def lower(self, system: DimmSystem) -> "list | None":
+        """Program ops for compiled replay, or None for no lowering.
+
+        Returning None wraps the step in a ``StepOp`` fallback that
+        calls :meth:`apply` unchanged; returning a (possibly empty)
+        list of :class:`~repro.core.collectives.program.ProgramOp`
+        replaces the step during replay.  Lowered ops must reproduce
+        ``apply``'s memory effects, scratch outputs and counter charges
+        bit-identically (the interpreted path stays the oracle).
+        """
+        return None
+
     def describe(self) -> str:
         """Short human-readable label (defaults to the class name)."""
         return type(self).__name__
@@ -87,6 +99,16 @@ class CommPlan:
         ledger = self.estimate(system)
         ctx = self.execute(system) if functional else None
         return ledger, ctx
+
+    def compile(self, system: DimmSystem):
+        """Lower this plan into a replayable compiled program.
+
+        Convenience wrapper around
+        :func:`~repro.core.collectives.program.compile_plan` (imported
+        lazily: the program module builds on this one).
+        """
+        from .program import compile_plan
+        return compile_plan(self, system)
 
     def describe(self) -> str:
         """Multi-line plan listing for debugging and docs."""

@@ -94,10 +94,15 @@ def _pass_mode(config: OptConfig, arithmetic: bool, dtype: DataType) -> str:
 
 def _meta(primitive: str, groups: list[CommGroup], config: OptConfig,
           per_pe_bytes: int, out_bytes: int) -> dict:
+    size = groups[0].size
     return {
         "primitive": primitive,
         "instances": len(groups),
-        "group_size": groups[0].size,
+        "group_size": size,
+        # Equal-size groups are the precondition for lowering steps
+        # into shared-index-table program ops (hypercube slicing always
+        # satisfies it; recorded for program/bench introspection).
+        "uniform_groups": all(g.size == size for g in groups),
         "config": config.label,
         "per_pe_bytes": per_pe_bytes,
         "out_bytes_per_pe": out_bytes,

@@ -1,0 +1,494 @@
+"""Compiled collective programs: lowered, fused, replayable plans.
+
+A cached :class:`~repro.core.collectives.plan.CommPlan` is still
+*interpreted*: every ``Step.apply`` re-derives slot permutations,
+gather indices, group unions and lane offsets that are pure functions
+of the plan key.  :func:`compile_plan` lowers the step list once into a
+:class:`CommProgram` -- a short sequence of program ops, each holding
+
+* the concatenated arena row ids of every group member,
+* read-only fused ``(lane, slot)`` index tables (PeReorder ∘
+  RotateExchange ∘ PeReorder composed into a single fancy index where
+  legal, with the CM byte-rotation folded into the same map),
+* pre-counted :class:`~repro.hw.host.SimdCounter` charges and WRAM
+  tile totals, and
+* a pre-priced :class:`~repro.hw.timing.CostLedger`,
+
+so steady-state replay of a cache-hit plan is a handful of numpy
+dispatches with zero index math, zero permutation validation, and zero
+per-step Python re-derivation.  The interpreted path stays the oracle:
+replay must produce bit-identical memory state, host outputs, ledgers,
+SIMD counts and WRAM tiles (``tests/test_program.py``).
+
+Two step kinds do not lower (``HostGlobalExchangeStep``,
+``HostReduceStep`` -- the conventional-baseline host flows); they are
+wrapped in a :class:`StepOp` fallback that calls ``apply`` unchanged,
+so every plan compiles even when only partially lowered.
+
+Compiled ops never consult the fault injector; the engine only routes
+injector-free systems to program replay (``docs/reliability.md``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ...errors import CollectiveError, TransferError
+from ...hw.arena import flat_chunk_table
+from ...hw.host import SimdCounter
+from ...hw.system import DimmSystem
+from ...hw.timing import CostLedger, MachineParams
+from .plan import CommPlan, ExecContext, Step
+
+
+def readonly_table(table: np.ndarray) -> np.ndarray:
+    """Materialize an index table as a read-only contiguous intp array."""
+    arr = np.ascontiguousarray(table, dtype=np.intp)
+    if arr is table:
+        arr = arr.copy()
+    arr.setflags(write=False)
+    return arr
+
+
+def scaled_counter(counter: SimdCounter, factor: int) -> SimdCounter:
+    """One group's SIMD charge multiplied across ``factor`` equal groups."""
+    return SimdCounter(loads=counter.loads * factor,
+                       stores=counter.stores * factor,
+                       shuffles=counter.shuffles * factor,
+                       transposes=counter.transposes * factor,
+                       adds=counter.adds * factor)
+
+
+def _merged(a: SimdCounter, b: SimdCounter) -> SimdCounter:
+    out = SimdCounter()
+    out.merge(a)
+    out.merge(b)
+    return out
+
+
+class ProgramOp(abc.ABC):
+    """One lowered (or fallback) stage of a compiled program."""
+
+    simd: SimdCounter
+    wram_tiles: int
+    labels: tuple[str, ...]
+
+    @abc.abstractmethod
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        """Replay this stage against ``ctx.system``."""
+
+    def _charge(self, ctx: ExecContext) -> None:
+        ctx.simd.merge(self.simd)
+        ctx.wram_tiles += self.wram_tiles
+
+    def describe(self) -> str:
+        """Op label built from the source steps it lowers/fuses."""
+        inner = " + ".join(self.labels) if self.labels else ""
+        return f"{type(self).__name__}({inner})"
+
+
+@dataclass
+class GatherMoveOp(ProgramOp):
+    """Pure data movement as one take-by-table gather + one put.
+
+    Covers PeReorder, RotateExchange and Fanout steps, and any legal
+    composition of adjacent ones (see :func:`_chainable`).  The fused
+    ``out[l, s] = in[lane[l, s], slot[l, s]]`` tables are shared across
+    all ``ngroups`` equal-size groups; ``ids`` is their rank-ordered
+    concatenation.
+    """
+
+    ids: np.ndarray
+    ngroups: int
+    src_offset: int
+    dst_offset: int
+    nslots_in: int
+    nslots_out: int
+    chunk_bytes: int
+    lane: np.ndarray
+    slot: np.ndarray
+    simd: SimdCounter = field(default_factory=SimdCounter)
+    wram_tiles: int = 0
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Flatten the table pair once at lowering time; replay then
+        # gathers along a single pre-indexed axis (see arena docs).
+        self.flat = flat_chunk_table(self.lane, self.slot, self.nslots_in)
+
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        block = ctx.system.take_by_table(
+            self.ids, self.ngroups, self.src_offset, self.nslots_in,
+            self.chunk_bytes, self.lane, self.slot, self.flat)
+        ctx.system.put_rows(
+            self.ids, self.dst_offset,
+            block.reshape(self.ids.size, self.nslots_out * self.chunk_bytes))
+        self._charge(ctx)
+
+
+@dataclass
+class ReduceFoldOp(ProgramOp):
+    """ReduceExchange lowered: one rotation gather + slot fold.
+
+    Integer dtypes fold with one ``ufunc.reduce`` call (modular
+    fixed-width arithmetic is order-independent, so any fold order is
+    bit-exact); floats keep the explicit left fold whose order matches
+    the interpreted backends, so floating-point results stay
+    bit-identical to the scalar oracle.
+    """
+
+    ids: np.ndarray
+    ngroups: int
+    instances: tuple[int, ...]
+    src_offset: int
+    chunk_bytes: int
+    nslots: int
+    dtype: Any
+    op: Any
+    lane: np.ndarray
+    slot: np.ndarray
+    dst_offset: int | None = None
+    scratch_key: str | None = None
+    simd: SimdCounter = field(default_factory=SimdCounter)
+    wram_tiles: int = 0
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.flat = flat_chunk_table(self.lane, self.slot, self.nslots)
+
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        block = ctx.system.take_by_table(
+            self.ids, self.ngroups, self.src_offset, self.nslots,
+            self.chunk_bytes, self.lane, self.slot, self.flat)
+        values = block.view(self.dtype.np_dtype)
+        if self.dtype.np_dtype.kind in "iub":
+            acc = self.op.reduce_axis(values, axis=2)
+        else:
+            acc = values[:, :, 0].copy()
+            for s in range(1, self.nslots):
+                acc = self.op.combine(acc, values[:, :, s])
+        if self.dst_offset is not None:
+            raw = np.ascontiguousarray(acc).view(np.uint8)
+            ctx.system.put_rows(self.ids, self.dst_offset,
+                                raw.reshape(self.ids.size, self.chunk_bytes))
+        if self.scratch_key is not None:
+            ctx.scratch[self.scratch_key] = {
+                inst: acc[g] for g, inst in enumerate(self.instances)}
+        self._charge(ctx)
+
+
+@dataclass
+class FanoutScratchOp(ProgramOp):
+    """FanoutFromHost lowered: fan host-resident reduced rows back out.
+
+    ``lane`` indexes rows of each instance's ``(lanes, chunk)`` scratch
+    matrix; a trailing reflect PeReorder fuses into the same table
+    (see :func:`_fuse`), which for AllReduce collapses the whole tail
+    to ``out[l, p] = acc[p]``.
+    """
+
+    group_ids: tuple[np.ndarray, ...]
+    ids: np.ndarray
+    instances: tuple[int, ...]
+    scratch_key: str
+    lane: np.ndarray
+    dst_offset: int
+    chunk_bytes: int
+    nslots_out: int
+    simd: SimdCounter = field(default_factory=SimdCounter)
+    wram_tiles: int = 0
+    labels: tuple[str, ...] = ()
+
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        results = ctx.scratch.get(self.scratch_key)
+        if results is None:
+            raise CollectiveError(
+                f"no host scratch {self.scratch_key!r}; run the reduce "
+                "exchange first")
+        lanes = self.lane.shape[0]
+        for ids, inst in zip(self.group_ids, self.instances):
+            row = np.ascontiguousarray(results[inst]).view(np.uint8)
+            if row.shape != (lanes, self.chunk_bytes):
+                raise TransferError(
+                    f"scratch row {row.shape} does not match group "
+                    f"({lanes}, {self.chunk_bytes})")
+            fanned = row[self.lane]
+            ctx.system.put_rows(
+                ids, self.dst_offset,
+                fanned.reshape(ids.size, self.nslots_out * self.chunk_bytes))
+        self._charge(ctx)
+
+
+@dataclass
+class HostPullOp(ProgramOp):
+    """GatherToHost lowered: per-instance lane reads into host scratch."""
+
+    group_ids: tuple[np.ndarray, ...]
+    instances: tuple[int, ...]
+    src_offset: int
+    chunk_bytes: int
+    scratch_key: str
+    simd: SimdCounter = field(default_factory=SimdCounter)
+    wram_tiles: int = 0
+    labels: tuple[str, ...] = ()
+
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        results = {}
+        for ids, inst in zip(self.group_ids, self.instances):
+            block = ctx.system.take_rows(ids, self.src_offset,
+                                         self.chunk_bytes)
+            results[inst] = block.reshape(-1)
+        ctx.scratch[self.scratch_key] = results
+        self._charge(ctx)
+
+
+@dataclass
+class HostPushOp(ProgramOp):
+    """ScatterFromHost lowered: per-instance payload rows pushed down."""
+
+    group_ids: tuple[np.ndarray, ...]
+    instances: tuple[int, ...]
+    dst_offset: int
+    chunk_bytes: int
+    source_key: str | None = None
+    simd: SimdCounter = field(default_factory=SimdCounter)
+    wram_tiles: int = 0
+    labels: tuple[str, ...] = ()
+
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        source = payloads
+        if source is None and self.source_key is not None:
+            source = ctx.scratch.get(self.source_key)
+        if source is None:
+            raise CollectiveError(
+                "functional scatter needs payloads or a scratch key")
+        for ids, inst in zip(self.group_ids, self.instances):
+            buf = np.asarray(source[inst], dtype=np.uint8)
+            expected = ids.size * self.chunk_bytes
+            if buf.size != expected:
+                raise TransferError(
+                    f"scatter payload of {buf.size}B for instance "
+                    f"{inst}, expected {expected}B")
+            ctx.system.put_rows(ids, self.dst_offset,
+                                buf.reshape(ids.size, self.chunk_bytes))
+        self._charge(ctx)
+
+
+@dataclass
+class BroadcastFillOp(ProgramOp):
+    """BroadcastStep lowered: one fill per instance, no delivery guard."""
+
+    group_ids: tuple[np.ndarray, ...]
+    instances: tuple[int, ...]
+    dst_offset: int
+    nbytes: int
+    source_key: str | None = None
+    simd: SimdCounter = field(default_factory=SimdCounter)
+    wram_tiles: int = 0
+    labels: tuple[str, ...] = ()
+
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        source = payloads
+        if source is None and self.source_key is not None:
+            source = ctx.scratch.get(self.source_key)
+        if source is None:
+            raise CollectiveError(
+                "functional broadcast needs payloads or a scratch key")
+        for ids, inst in zip(self.group_ids, self.instances):
+            buf = np.asarray(source[inst], dtype=np.uint8)
+            if buf.size != self.nbytes:
+                raise TransferError(
+                    f"broadcast payload of {buf.size}B, expected "
+                    f"{self.nbytes}B")
+            ctx.system.fill_lanes(ids, self.dst_offset, buf)
+        self._charge(ctx)
+
+
+@dataclass
+class StepOp(ProgramOp):
+    """Fallback: replay a step that has no lowering via ``apply``."""
+
+    step: Step
+    simd: SimdCounter = field(default_factory=SimdCounter)
+    wram_tiles: int = 0
+    labels: tuple[str, ...] = ()
+
+    def execute(self, ctx: ExecContext,
+                payloads: Mapping[int, np.ndarray] | None) -> None:
+        self.step.apply(ctx)
+
+    def describe(self) -> str:
+        """Label of the wrapped (uncompiled) step."""
+        return f"StepOp({self.step.describe()})"
+
+
+# ----------------------------------------------------------------------
+# Fusion
+# ----------------------------------------------------------------------
+def _compose_tables(lane_a: np.ndarray, slot_a: np.ndarray,
+                    lane_b: np.ndarray, slot_b: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Index tables of ``b after a``: ``out[l,s] = in[lane[l,s], slot[l,s]]``.
+
+    If ``mid = a(in)`` and ``out = b(mid)`` then ``out[l, s] =
+    mid[lane_b[l,s], slot_b[l,s]] = in[lane_a[lane_b, slot_b],
+    slot_a[lane_b, slot_b]]``.
+    """
+    return (readonly_table(lane_a[lane_b, slot_b]),
+            readonly_table(slot_a[lane_b, slot_b]))
+
+
+def _chainable(a: GatherMoveOp, b: GatherMoveOp) -> bool:
+    """Whether ``a``'s output region is fully consumed-and-overwritten by ``b``.
+
+    Fusing drops ``a``'s intermediate write, which is only invisible
+    when ``b`` reads exactly that region (``a.dst == b.src``) and
+    writes every byte of it back in place (``b.dst == b.src`` with
+    equal in/out slot counts) -- then the final memory state is
+    identical to the interpreted two-step execution.
+    """
+    return (a.dst_offset == b.src_offset == b.dst_offset
+            and a.chunk_bytes == b.chunk_bytes
+            and a.nslots_out == b.nslots_in == b.nslots_out
+            and a.ngroups == b.ngroups
+            and np.array_equal(a.ids, b.ids))
+
+
+def _fuse_moves(a: GatherMoveOp, b: GatherMoveOp) -> GatherMoveOp:
+    lane, slot = _compose_tables(a.lane, a.slot, b.lane, b.slot)
+    return GatherMoveOp(
+        ids=a.ids, ngroups=a.ngroups, src_offset=a.src_offset,
+        dst_offset=b.dst_offset, nslots_in=a.nslots_in,
+        nslots_out=b.nslots_out, chunk_bytes=a.chunk_bytes,
+        lane=lane, slot=slot, simd=_merged(a.simd, b.simd),
+        wram_tiles=a.wram_tiles + b.wram_tiles, labels=a.labels + b.labels)
+
+
+def _fanout_chainable(a: FanoutScratchOp, b: GatherMoveOp) -> bool:
+    return (a.dst_offset == b.src_offset == b.dst_offset
+            and a.chunk_bytes == b.chunk_bytes
+            and a.nslots_out == b.nslots_in == b.nslots_out
+            and len(a.group_ids) == b.ngroups
+            and np.array_equal(a.ids, b.ids))
+
+
+def _fuse_fanout(a: FanoutScratchOp, b: GatherMoveOp) -> FanoutScratchOp:
+    # a's lane table indexes scratch rows directly (no slot axis), so
+    # composing with b only re-routes through b's (lane, slot) pair.
+    lane = readonly_table(a.lane[b.lane, b.slot])
+    return FanoutScratchOp(
+        group_ids=a.group_ids, ids=a.ids, instances=a.instances,
+        scratch_key=a.scratch_key, lane=lane, dst_offset=b.dst_offset,
+        chunk_bytes=a.chunk_bytes, nslots_out=b.nslots_out,
+        simd=_merged(a.simd, b.simd),
+        wram_tiles=a.wram_tiles + b.wram_tiles, labels=a.labels + b.labels)
+
+
+def _fuse(ops: list[ProgramOp]) -> list[ProgramOp]:
+    """Greedy adjacent-pair fusion over the lowered op list."""
+    fused: list[ProgramOp] = []
+    for op in ops:
+        prev = fused[-1] if fused else None
+        if isinstance(op, GatherMoveOp):
+            if isinstance(prev, GatherMoveOp) and _chainable(prev, op):
+                fused[-1] = _fuse_moves(prev, op)
+                continue
+            if isinstance(prev, FanoutScratchOp) and _fanout_chainable(
+                    prev, op):
+                fused[-1] = _fuse_fanout(prev, op)
+                continue
+        fused.append(op)
+    return fused
+
+
+# ----------------------------------------------------------------------
+# The program
+# ----------------------------------------------------------------------
+@dataclass
+class CommProgram:
+    """A compiled, fused, pre-priced execution program for one plan."""
+
+    primitive: str
+    plan: CommPlan
+    ops: list[ProgramOp]
+    total_steps: int
+    lowered_steps: int
+    fused_away: int
+    _ledger: CostLedger
+    _params: MachineParams
+
+    @property
+    def fully_lowered(self) -> bool:
+        """True when no op falls back to interpreted ``Step.apply``."""
+        return all(not isinstance(op, StepOp) for op in self.ops)
+
+    def priced(self, system: DimmSystem) -> CostLedger:
+        """The pre-priced ledger (a fresh copy), repriced only when the
+        system's machine parameters changed since compilation."""
+        if system.params is not self._params:
+            self._ledger = self.plan.estimate(system)
+            self._params = system.params
+        return self._ledger.copy()
+
+    def replay(self, system: DimmSystem,
+               payloads: Mapping[int, np.ndarray] | None = None
+               ) -> tuple[CostLedger, ExecContext]:
+        """Execute the compiled ops; returns (ledger, context).
+
+        Bit-identical to interpreting the source plan: same memory
+        state, scratch outputs, SIMD counts and WRAM tiles -- at a
+        fraction of the dispatch work.
+        """
+        ledger = self.priced(system)
+        ctx = ExecContext(system=system)
+        for op in self.ops:
+            op.execute(ctx, payloads)
+        return ledger, ctx
+
+    def describe(self) -> str:
+        """Multi-line program listing for debugging and docs."""
+        lines = [f"CommProgram({self.primitive}, {len(self.ops)} ops from "
+                 f"{self.total_steps} steps, "
+                 f"{self.lowered_steps} lowered, {self.fused_away} fused)"]
+        lines.extend(f"  {i}: {op.describe()}"
+                     for i, op in enumerate(self.ops))
+        return "\n".join(lines)
+
+
+def compile_plan(plan: CommPlan, system: DimmSystem) -> CommProgram:
+    """Lower a plan's steps into a :class:`CommProgram` and fuse them.
+
+    Each step's ``lower(system)`` hook yields its program ops (or None
+    for no lowering, in which case the step rides along as a
+    :class:`StepOp`); a greedy pass then composes adjacent index-map
+    ops wherever dropping the intermediate write is invisible.  The
+    plan's analytic cost is priced once, here, so replay never calls
+    ``estimate`` again.
+    """
+    ops: list[ProgramOp] = []
+    lowered = 0
+    for step in plan.steps:
+        step_ops = step.lower(system)
+        if step_ops is None:
+            ops.append(StepOp(step, labels=(step.describe(),)))
+        else:
+            lowered += 1
+            ops.extend(step_ops)
+    before = len(ops)
+    ops = _fuse(ops)
+    return CommProgram(
+        primitive=plan.primitive, plan=plan, ops=ops,
+        total_steps=len(plan.steps), lowered_steps=lowered,
+        fused_away=before - len(ops), _ledger=plan.estimate(system),
+        _params=system.params)

@@ -27,6 +27,7 @@ chunk in its destination lane, and a final reflection permutation
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -37,10 +38,14 @@ from ...hw import domain
 from ...reliability.checksum import guarded_delivery
 from ...hw.host import (
     REGISTER_BYTES,
+    SimdCounter,
+    charge_rotate_sweep,
     fanout_all_slots,
     rotate_all_slots,
     rotate_lanes_registerwise,
+    rotation_table,
 )
+from ...hw.pe import WRAM_TILE_BYTES, batched_permute_tiles
 from ...hw.system import DimmSystem
 from ...hw.timing import CostLedger
 from ..groups import CommGroup
@@ -51,6 +56,17 @@ from ..reference import (
     reduce_scatter as ref_reduce_scatter,
 )
 from .plan import ExecContext, Step
+from .program import (
+    BroadcastFillOp,
+    FanoutScratchOp,
+    GatherMoveOp,
+    HostPullOp,
+    HostPushOp,
+    ProgramOp,
+    ReduceFoldOp,
+    readonly_table,
+    scaled_counter,
+)
 
 HOST_PASS_MODES = ("staged", "inregister", "crossdomain")
 
@@ -58,35 +74,49 @@ HOST_PASS_MODES = ("staged", "inregister", "crossdomain")
 # ----------------------------------------------------------------------
 # Shared helpers
 # ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
 def slot_permutation(rule: str, rank: int, nslots: int) -> np.ndarray:
     """Slot permutation for a PE of group rank ``rank``.
 
-    Returns ``perm`` such that ``new[i] = old[perm[i]]``.
+    Returns ``perm`` such that ``new[i] = old[perm[i]]``.  Memoized on
+    ``(rule, rank, nslots)`` -- steady-state collectives reuse the
+    identical permutations every call -- so the returned array is
+    read-only; copy before mutating.
     """
     idx = np.arange(nslots)
     if rule == "identity":
-        return idx
-    if rule == "rotate_left_rank":
+        perm = idx
+    elif rule == "rotate_left_rank":
         # new[s] = old[(s + rank) % n]
-        return (idx + rank) % nslots
-    if rule == "reflect_rank":
+        perm = (idx + rank) % nslots
+    elif rule == "reflect_rank":
         # new[p] = old[(rank - p) % n]
-        return (rank - idx) % nslots
-    raise CollectiveError(f"unknown slot permutation rule {rule!r}")
+        perm = (rank - idx) % nslots
+    else:
+        raise CollectiveError(f"unknown slot permutation rule {rule!r}")
+    perm.setflags(write=False)
+    return perm
 
 
+@lru_cache(maxsize=None)
 def slot_permutation_matrix(rule: str, nranks: int,
                             nslots: int) -> np.ndarray:
-    """Stacked :func:`slot_permutation` rows for ranks ``0..nranks-1``."""
+    """Stacked :func:`slot_permutation` rows for ranks ``0..nranks-1``.
+
+    Memoized and read-only, like :func:`slot_permutation`.
+    """
     ranks = np.arange(nranks)[:, None]
     idx = np.arange(nslots)[None, :]
     if rule == "identity":
-        return np.broadcast_to(idx, (nranks, nslots)).copy()
-    if rule == "rotate_left_rank":
-        return (idx + ranks) % nslots
-    if rule == "reflect_rank":
-        return (ranks - idx) % nslots
-    raise CollectiveError(f"unknown slot permutation rule {rule!r}")
+        matrix = np.broadcast_to(idx, (nranks, nslots)).copy()
+    elif rule == "rotate_left_rank":
+        matrix = (idx + ranks) % nslots
+    elif rule == "reflect_rank":
+        matrix = (ranks - idx) % nslots
+    else:
+        raise CollectiveError(f"unknown slot permutation rule {rule!r}")
+    matrix.setflags(write=False)
+    return matrix
 
 
 def union_pes(groups: Sequence[CommGroup]) -> list[int]:
@@ -95,6 +125,53 @@ def union_pes(groups: Sequence[CommGroup]) -> list[int]:
     for group in groups:
         seen.update(group.pe_ids)
     return sorted(seen)
+
+
+def _uniform_group_size(groups: Sequence[CommGroup]) -> int | None:
+    """The common group size, or None when groups differ (no lowering)."""
+    if not groups:
+        return None
+    size = groups[0].size
+    if any(g.size != size for g in groups):
+        return None
+    return size
+
+
+def _concat_ids(groups: Sequence[CommGroup]) -> np.ndarray:
+    """Rank-ordered PE ids of every group, concatenated (read-only)."""
+    ids = np.concatenate(
+        [np.asarray(g.pe_ids, dtype=np.intp) for g in groups])
+    ids.setflags(write=False)
+    return ids
+
+
+def _group_id_arrays(groups: Sequence[CommGroup]) -> tuple[np.ndarray, ...]:
+    """Per-group PE id arrays (read-only), for per-instance ops."""
+    out = []
+    for g in groups:
+        ids = np.asarray(g.pe_ids, dtype=np.intp)
+        ids.setflags(write=False)
+        out.append(ids)
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def _lane_identity_table(nranks: int, nslots: int) -> np.ndarray:
+    """Read-only ``table[l, s] = l`` (a lane-preserving gather)."""
+    return readonly_table(np.broadcast_to(
+        np.arange(nranks, dtype=np.intp)[:, None], (nranks, nslots)))
+
+
+@lru_cache(maxsize=None)
+def _slot_sweep_table(nranks: int, nslots: int) -> np.ndarray:
+    """Read-only ``table[l, s] = s`` (a slot-preserving gather)."""
+    return readonly_table(np.broadcast_to(
+        np.arange(nslots, dtype=np.intp)[None, :], (nranks, nslots)))
+
+
+def _dt_registers(nbytes: int) -> int:
+    """Registers one domain transfer of ``nbytes`` occupies."""
+    return (nbytes + REGISTER_BYTES - 1) // REGISTER_BYTES
 
 
 def _bus_terms(system: DimmSystem, pes: Sequence[int]) -> tuple[int, float]:
@@ -184,6 +261,29 @@ class PeReorderStep(Step):
         ledger.add("launch", system.params.kernel_launch_s)
         return ledger
 
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        groups = list(self.groups)
+        n = _uniform_group_size(groups)
+        if n is None:
+            return None
+        total = self.nslots * self.chunk_bytes
+        overlapping = (self.src_offset < self.dst_offset + total
+                       and self.dst_offset < self.src_offset + total)
+        if overlapping and self.src_offset != self.dst_offset:
+            return None  # the interpreted kernels reject this; keep it there
+        perms = slot_permutation_matrix(self.rule, n, self.nslots)
+        tiles = len(groups) * batched_permute_tiles(
+            np.asarray(perms, dtype=np.intp), self.chunk_bytes,
+            WRAM_TILE_BYTES, in_place=overlapping)
+        return [GatherMoveOp(
+            ids=_concat_ids(groups), ngroups=len(groups),
+            src_offset=self.src_offset, dst_offset=self.dst_offset,
+            nslots_in=self.nslots, nslots_out=self.nslots,
+            chunk_bytes=self.chunk_bytes,
+            lane=_lane_identity_table(n, self.nslots),
+            slot=readonly_table(perms),
+            wram_tiles=tiles, labels=(self.describe(),))]
+
     def describe(self) -> str:
         return (f"PeReorder[{self.rule}] {self.nslots}x{self.chunk_bytes}B "
                 f"on {sum(g.size for g in self.groups)} PEs")
@@ -255,6 +355,26 @@ class RotateExchangeStep(Step):
             ledger.add("host_mod", params.mod_time(total, "local"))
         return ledger
 
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        groups = list(self.groups)
+        n = _uniform_group_size(groups)
+        if n is None:
+            return None
+        probe = SimdCounter()
+        charge_rotate_sweep(n, self.chunk_bytes, self.nslots, probe)
+        if self.mode != "crossdomain":
+            probe.transposes += self.nslots * _dt_registers(
+                2 * n * self.chunk_bytes)
+        return [GatherMoveOp(
+            ids=_concat_ids(groups), ngroups=len(groups),
+            src_offset=self.offset, dst_offset=self.offset,
+            nslots_in=self.nslots, nslots_out=self.nslots,
+            chunk_bytes=self.chunk_bytes,
+            lane=rotation_table(n, self.nslots),
+            slot=_slot_sweep_table(n, self.nslots),
+            simd=scaled_counter(probe, len(groups)),
+            labels=(self.describe(),))]
+
     def describe(self) -> str:
         return (f"RotateExchange[{self.mode}] {len(self.groups)} groups x "
                 f"{self.nslots} slots x {self.chunk_bytes}B")
@@ -316,6 +436,24 @@ class FanoutStep(Step):
                        params.host_mem_time(2 * (in_bytes + out_bytes)))
             ledger.add("host_mod", params.mod_time(out_bytes, "local"))
         return ledger
+
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        groups = list(self.groups)
+        n = _uniform_group_size(groups)
+        if n is None:
+            return None
+        probe = SimdCounter()
+        if self.mode != "crossdomain":
+            probe.transposes += _dt_registers(n * self.chunk_bytes * (1 + n))
+        charge_rotate_sweep(n, self.chunk_bytes, n, probe)
+        return [GatherMoveOp(
+            ids=_concat_ids(groups), ngroups=len(groups),
+            src_offset=self.src_offset, dst_offset=self.dst_offset,
+            nslots_in=1, nslots_out=n, chunk_bytes=self.chunk_bytes,
+            lane=rotation_table(n, n),
+            slot=readonly_table(np.zeros((n, n), dtype=np.intp)),
+            simd=scaled_counter(probe, len(groups)),
+            labels=(self.describe(),))]
 
     def describe(self) -> str:
         return (f"Fanout[{self.mode}] {len(self.groups)} groups x "
@@ -447,6 +585,27 @@ class ReduceExchangeStep(Step):
             ledger.add("host_mem", params.host_mem_time(kept))
         return ledger
 
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        groups = list(self.groups)
+        n = _uniform_group_size(groups)
+        if n is None:
+            return None
+        probe = SimdCounter()
+        charge_rotate_sweep(n, self.chunk_bytes, self.nslots, probe)
+        if self.mode != "crossdomain":
+            probe.transposes += self.nslots * _dt_registers(
+                n * self.chunk_bytes)
+        return [ReduceFoldOp(
+            ids=_concat_ids(groups), ngroups=len(groups),
+            instances=tuple(g.instance for g in groups),
+            src_offset=self.src_offset, chunk_bytes=self.chunk_bytes,
+            nslots=self.nslots, dtype=self.dtype, op=self.op,
+            lane=rotation_table(n, self.nslots),
+            slot=_slot_sweep_table(n, self.nslots),
+            dst_offset=self.dst_offset, scratch_key=self.scratch_key,
+            simd=scaled_counter(probe, len(groups)),
+            labels=(self.describe(),))]
+
     def describe(self) -> str:
         target = "host" if self.dst_offset is None else f"dst@{self.dst_offset}"
         return (f"ReduceExchange[{self.mode},{self.op}] "
@@ -511,6 +670,23 @@ class FanoutFromHostStep(Step):
             ledger.add("host_mem", params.host_mem_time(2 * out_bytes))
         return ledger
 
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        groups = list(self.groups)
+        n = _uniform_group_size(groups)
+        if n is None:
+            return None
+        probe = SimdCounter()
+        probe.transposes += _dt_registers(n * self.chunk_bytes)
+        charge_rotate_sweep(n, self.chunk_bytes, n, probe)
+        return [FanoutScratchOp(
+            group_ids=_group_id_arrays(groups), ids=_concat_ids(groups),
+            instances=tuple(g.instance for g in groups),
+            scratch_key=self.scratch_key,
+            lane=rotation_table(n, n), dst_offset=self.dst_offset,
+            chunk_bytes=self.chunk_bytes, nslots_out=n,
+            simd=scaled_counter(probe, len(groups)),
+            labels=(self.describe(),))]
+
     def describe(self) -> str:
         return (f"FanoutFromHost[{self.mode}] {len(self.groups)} groups x "
                 f"{self.chunk_bytes}B")
@@ -562,6 +738,14 @@ class GatherToHostStep(Step):
             ledger.add("host_mem", params.host_mem_time(total))
             ledger.add("host_mod", params.mod_time(total, "simd"))
         return ledger
+
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        groups = list(self.groups)
+        return [HostPullOp(
+            group_ids=_group_id_arrays(groups),
+            instances=tuple(g.instance for g in groups),
+            src_offset=self.src_offset, chunk_bytes=self.chunk_bytes,
+            scratch_key=self.scratch_key, labels=(self.describe(),))]
 
     def describe(self) -> str:
         return (f"GatherToHost[{self.mode}] {len(self.groups)} groups x "
@@ -617,6 +801,18 @@ class ScatterFromHostStep(Step):
             ledger.add("host_mem", params.host_mem_time(total))
             ledger.add("host_mod", params.mod_time(total, "simd"))
         return ledger
+
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        if self.payloads is not None:
+            # A payload-bound copy is transient (one call); only the
+            # unbound template is worth compiling.
+            return None
+        groups = list(self.groups)
+        return [HostPushOp(
+            group_ids=_group_id_arrays(groups),
+            instances=tuple(g.instance for g in groups),
+            dst_offset=self.dst_offset, chunk_bytes=self.chunk_bytes,
+            source_key=self.scratch_key, labels=(self.describe(),))]
 
     def describe(self) -> str:
         return (f"ScatterFromHost[{self.mode}] {len(self.groups)} groups x "
@@ -680,6 +876,16 @@ class BroadcastStep(Step):
         ledger.add("host_mem",
                    params.host_mem_time(self.nbytes * len(self.groups)))
         return ledger
+
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        if self.payloads is not None:
+            return None
+        groups = list(self.groups)
+        return [BroadcastFillOp(
+            group_ids=_group_id_arrays(groups),
+            instances=tuple(g.instance for g in groups),
+            dst_offset=self.dst_offset, nbytes=self.nbytes,
+            source_key=self.scratch_key, labels=(self.describe(),))]
 
     def describe(self) -> str:
         return f"Broadcast {self.nbytes}B to {len(self.groups)} groups"
@@ -749,6 +955,11 @@ class LaunchStep(Step):
         ledger = CostLedger()
         ledger.add("launch", self.count * system.params.collective_launch_s)
         return ledger
+
+    def lower(self, system: DimmSystem) -> list[ProgramOp] | None:
+        # Cost-only (the launch charge lives in the pre-priced ledger);
+        # the injector hook is moot on the injector-free compiled path.
+        return []
 
     def describe(self) -> str:
         return f"Launch x{self.count}"

@@ -21,29 +21,47 @@ backend name, for the application harness.  Hit/miss counters feed
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Callable, Mapping
 
 import numpy as np
 
 from ..core.collectives import CommPlan
 from ..core.collectives.planner import _payload_bytes
+from ..core.collectives.program import CommProgram
 from .request import PlanKey
+
+#: Default plan-cache bound.  Far above any application's working set
+#: (a handful of distinct shapes), yet it keeps a service cycling
+#: through unbounded shape sequences from leaking plans -- and, since
+#: compiled programs hang off cache entries, index tables.
+DEFAULT_MAXSIZE = 128
+
+
+@dataclass
+class _CacheEntry:
+    """One cached plan plus its lazily compiled program."""
+
+    plan: CommPlan
+    program: CommProgram | None = None
 
 
 class PlanCache:
     """An LRU map from :class:`PlanKey` to compiled :class:`CommPlan`.
 
-    ``maxsize=None`` (the default) never evicts -- application runs use
-    a handful of distinct shapes, so unbounded is the right default;
-    pass a bound for long-lived services cycling through many shapes.
+    Each entry also carries the plan's lowered :class:`CommProgram`
+    once the engine first compiles it (:meth:`fetch_program`), so the
+    steady state hits both the plan and its replay program with one
+    lookup.  Eviction (LRU order, bound :data:`DEFAULT_MAXSIZE` unless
+    overridden) drops both together; ``maxsize=None`` never evicts.
     """
 
-    def __init__(self, maxsize: int | None = None) -> None:
+    def __init__(self, maxsize: int | None = DEFAULT_MAXSIZE) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
-        self._plans: OrderedDict[PlanKey, CommPlan] = OrderedDict()
+        self.evictions = 0
+        self._plans: OrderedDict[PlanKey, _CacheEntry] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -60,17 +78,37 @@ class PlanCache:
         race-of-meaning that breaks as soon as ``builder`` performs a
         nested lookup of its own.
         """
-        plan = self._plans.get(key)
-        if plan is not None:
+        entry = self._plans.get(key)
+        if entry is not None:
             self.hits += 1
             self._plans.move_to_end(key)
-            return plan, True
+            return entry.plan, True
         self.misses += 1
         plan = builder()
-        self._plans[key] = plan
+        self._plans[key] = _CacheEntry(plan)
         if self.maxsize is not None and len(self._plans) > self.maxsize:
             self._plans.popitem(last=False)
+            self.evictions += 1
         return plan, False
+
+    def fetch_program(self, key: PlanKey,
+                      builder: Callable[[], CommProgram]
+                      ) -> tuple[CommProgram, bool]:
+        """Compiled program for ``key``'s cached plan; (program, hit).
+
+        Compiles lazily on first request and parks the program on the
+        plan's cache entry.  If the plan itself is no longer cached
+        (evicted between the plan fetch and this call), the program is
+        built but not stored -- correctness never depends on the cache.
+        """
+        entry = self._plans.get(key)
+        if entry is None:
+            return builder(), False
+        self._plans.move_to_end(key)
+        if entry.program is not None:
+            return entry.program, True
+        entry.program = builder()
+        return entry.program, False
 
     def get_or_build(self, key: PlanKey,
                      builder: Callable[[], CommPlan]) -> CommPlan:
@@ -95,10 +133,11 @@ class PlanCache:
         return self.hits / lookups if lookups else 0.0
 
     def clear(self) -> None:
-        """Drop all plans and reset the counters."""
+        """Drop all plans (and their programs) and reset the counters."""
         self._plans.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 def bind_payloads(plan: CommPlan,

@@ -23,6 +23,7 @@ them with :meth:`CostLedger.merge_concurrent`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -32,6 +33,7 @@ from ..core.collectives import (
     GATHER_SCRATCH,
     REDUCE_SCRATCH,
     CommPlan,
+    CommProgram,
     OptConfig,
     plan_allgather,
     plan_allreduce,
@@ -42,6 +44,7 @@ from ..core.collectives import (
     plan_reduce_scatter,
     plan_scatter,
 )
+from ..core.collectives.planner import _payload_bytes
 from ..core.groups import member_pes
 from ..core.hypercube import HypercubeManager
 from ..dtypes import DataType, ReduceOp
@@ -53,7 +56,7 @@ from ..errors import (
 )
 from ..hw.timing import CostLedger
 from ..reliability import FaultInjector, RELIABLE, ReliabilityPolicy
-from .cache import PlanCache, bind_payloads
+from .cache import DEFAULT_MAXSIZE, PlanCache, bind_payloads
 from .request import CommRequest, NormalizedRequest
 from .result import BatchResult, CommFuture, CommResult, reduced_vector
 from .scheduler import price_waves, schedule_waves
@@ -61,6 +64,9 @@ from .stats import EngineStats
 
 #: One PE's saved MRAM intervals: ``(pe_id, offset, bytes)`` records.
 _Snapshot = list[tuple[int, int, np.ndarray]]
+
+#: Execution strategies for cached plans (``Communicator(execution=...)``).
+EXECUTION_MODES = ("auto", "interpreted", "compiled")
 
 
 class Communicator:
@@ -71,7 +77,8 @@ class Communicator:
         config: Default :class:`OptConfig` (per-call overrides allowed).
         functional: Whether calls move real bytes (False = analytic
             pricing only); overridable per call and per batch.
-        cache_size: Plan-cache bound (None = unbounded).
+        cache_size: Plan-cache bound (None = unbounded; default
+            :data:`~repro.engine.cache.DEFAULT_MAXSIZE`, LRU).
         reliability: Retry/degradation policy.  Defaults to
             :data:`~repro.reliability.RELIABLE` when a fault injector
             is supplied, else None (faults propagate to the caller).
@@ -80,17 +87,29 @@ class Communicator:
         backend: Execution backend to switch the manager's system to
             (``"scalar"`` or ``"vectorized"``); None keeps the
             system's current backend (``docs/performance.md``).
+        execution: ``"auto"`` (default) replays cached plans through
+            compiled programs whenever no fault injector is attached,
+            falling back to step interpretation otherwise;
+            ``"interpreted"`` always interprets; ``"compiled"``
+            demands program replay and raises if an injector (which
+            only the interpreted steps consult) is attached.
     """
 
     def __init__(self, manager: HypercubeManager,
                  config: OptConfig = FULL, functional: bool = True,
-                 cache_size: int | None = None,
+                 cache_size: int | None = DEFAULT_MAXSIZE,
                  reliability: ReliabilityPolicy | None = None,
                  fault_injector: FaultInjector | None = None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 execution: str = "auto") -> None:
         self.manager = manager
         self.config = config
         self.functional = functional
+        if execution not in EXECUTION_MODES:
+            raise CollectiveError(
+                f"unknown execution mode {execution!r}; "
+                f"known: {EXECUTION_MODES}")
+        self.execution = execution
         if backend is not None:
             manager.system.set_backend(backend)
         self.cache = PlanCache(maxsize=cache_size)
@@ -114,8 +133,37 @@ class Communicator:
     # ------------------------------------------------------------------
     def _compile(self, req: NormalizedRequest) -> tuple[CommPlan, bool]:
         """Cached plan for ``req`` (payload-free); returns (plan, hit)."""
-        return self.cache.fetch(req.plan_key,
-                                lambda: self._build_plan(req))
+        plan, hit = self.cache.fetch(req.plan_key,
+                                     lambda: self._build_plan(req))
+        self.stats.plan_evictions = self.cache.evictions
+        return plan, hit
+
+    def _program_for(self, req: NormalizedRequest,
+                     plan: CommPlan) -> CommProgram | None:
+        """The compiled program to replay ``req`` with, if any.
+
+        None means interpret: either the session asked for it, or a
+        fault injector is attached (compiled ops never consult the
+        injector, so replaying would silently skip fault sites --
+        ``execution="compiled"`` makes that an error instead).
+        """
+        if self.execution == "interpreted":
+            return None
+        if self.manager.system.fault_injector is not None:
+            if self.execution == "compiled":
+                raise CollectiveError(
+                    "execution='compiled' bypasses the fault injector; "
+                    "detach the injector or use execution='auto'")
+            return None
+
+        def build() -> CommProgram:
+            start = perf_counter()
+            program = plan.compile(self.manager.system)
+            self.stats.record_compile(perf_counter() - start)
+            return program
+
+        program, _ = self.cache.fetch_program(req.plan_key, build)
+        return program
 
     def _build_plan(self, req: NormalizedRequest) -> CommPlan:
         m, dims, size = self.manager, req.dims, req.total_data_size
@@ -147,8 +195,31 @@ class Communicator:
             raise CollectiveError(
                 f"functional {req.primitive} needs payloads")
         if self.reliability is not None:
+            if self.execution == "compiled":
+                raise CollectiveError(
+                    "execution='compiled' cannot run under a reliability "
+                    "policy (retry/rewind interprets steps); use "
+                    "execution='auto'")
             return self._run_reliable(req, functional)
         plan, hit = self._compile(req)
+        program = self._program_for(req, plan)
+        if program is not None:
+            if functional:
+                raw = (_payload_bytes(req.payloads)
+                       if req.payloads is not None else None)
+                start = perf_counter()
+                ledger, ctx = program.replay(self.manager.system,
+                                             payloads=raw)
+                self.stats.record_replay(perf_counter() - start)
+            else:
+                ledger, ctx = program.priced(self.manager.system), None
+            host_outputs = self._host_outputs(req, ctx)
+            self.stats.record_call(req.primitive, plan, ledger, cached=hit)
+            return CommResult(plan=plan, ledger=ledger,
+                              host_outputs=host_outputs, cached=hit,
+                              simd=ctx.simd if ctx is not None else None,
+                              wram_tiles=ctx.wram_tiles if ctx is not None
+                              else 0, execution="compiled")
         bound = bind_payloads(plan, req.payloads if functional else None)
         ledger, ctx = bound.run(self.manager.system, functional=functional)
         host_outputs = self._host_outputs(req, ctx)
@@ -198,6 +269,21 @@ class Communicator:
         for pe, offset, data in snapshot:
             system.memory(pe).write(offset, data)
 
+    def _snapshot_needed(self) -> bool:
+        """Whether a pre-attempt footprint snapshot can ever be used.
+
+        A snapshot only pays off if a retry can happen, which requires
+        an attached injector with either non-zero transient rates or an
+        already-failed rank (degradation also rewinds).  Skipping it
+        otherwise removes the dominant per-call overhead of running a
+        reliability policy over a healthy system.
+        """
+        injector = self.manager.system.fault_injector
+        if injector is None:
+            return False
+        return (injector.spec.transient_total > 0.0
+                or bool(injector.failed_ranks))
+
     def _renormalize(self, req: NormalizedRequest) -> NormalizedRequest:
         """Re-resolve a request against the (remapped) current manager."""
         return CommRequest(
@@ -229,7 +315,8 @@ class Communicator:
         degraded_now = False
         attempts = 0
         failures = 0
-        snapshot = self._snapshot(req) if functional else None
+        snapshot = (self._snapshot(req)
+                    if functional and self._snapshot_needed() else None)
         while True:
             attempts += 1
             plan, hit = self._compile(req)
@@ -278,7 +365,9 @@ class Communicator:
                 self.degraded = True
                 degraded_now = True
                 req = self._renormalize(req)
-                snapshot = self._snapshot(req) if functional else None
+                snapshot = (self._snapshot(req)
+                            if functional and self._snapshot_needed()
+                            else None)
                 continue
             host_outputs = self._host_outputs(req, ctx)
             self.stats.record_call(req.primitive, plan, total, cached=hit,

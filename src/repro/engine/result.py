@@ -52,6 +52,9 @@ class CommResult:
     #: WRAM tiles moved by PE-local kernels (0 for analytic runs);
     #: also backend-invariant.
     wram_tiles: int = 0
+    #: ``"interpreted"`` (step-by-step ``apply``) or ``"compiled"``
+    #: (single-dispatch program replay); bit-identical by construction.
+    execution: str = "interpreted"
 
     @property
     def seconds(self) -> float:
@@ -74,6 +77,8 @@ class CommResult:
             parts.append(f"{len(self.host_outputs)} host outputs")
         if self.cached:
             parts.append("cached plan")
+        if self.execution == "compiled":
+            parts.append("compiled replay")
         if self.attempts > 1:
             parts.append(f"{self.attempts} attempts")
         if self.faults_seen:

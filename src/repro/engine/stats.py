@@ -37,6 +37,16 @@ class EngineStats:
     calls: int = 0
     plans_compiled: int = 0
     cache_hits: int = 0
+    #: Plans (with their programs) dropped by LRU cache eviction.
+    plan_evictions: int = 0
+    #: Plans lowered into compiled programs (one per cached shape).
+    programs_compiled: int = 0
+    #: Calls served by compiled-program replay instead of interpretation.
+    program_replays: int = 0
+    #: Wall-clock seconds spent lowering plans / replaying programs
+    #: (host-process time, not modelled time -- the amortization data).
+    compile_seconds: float = 0.0
+    replay_seconds: float = 0.0
     batches: int = 0
     waves: int = 0
     bytes_moved: int = 0
@@ -89,6 +99,16 @@ class EngineStats:
             self.per_category_seconds[category] = (
                 self.per_category_seconds.get(category, 0.0) + seconds)
 
+    def record_compile(self, seconds: float) -> None:
+        """Account one plan -> program lowering (wall-clock)."""
+        self.programs_compiled += 1
+        self.compile_seconds += seconds
+
+    def record_replay(self, seconds: float) -> None:
+        """Account one compiled-program replay (wall-clock)."""
+        self.program_replays += 1
+        self.replay_seconds += seconds
+
     def record_fault(self, kind: str) -> None:
         """Account one observed fault (by kind, e.g. ``"bit_flip"``)."""
         self.faults_seen[kind] = self.faults_seen.get(kind, 0) + 1
@@ -116,6 +136,11 @@ class EngineStats:
             "plans_compiled": self.plans_compiled,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
+            "plan_evictions": self.plan_evictions,
+            "programs_compiled": self.programs_compiled,
+            "program_replays": self.program_replays,
+            "compile_seconds": self.compile_seconds,
+            "replay_seconds": self.replay_seconds,
             "batches": self.batches,
             "waves": self.waves,
             "bytes_moved": self.bytes_moved,
@@ -143,6 +168,14 @@ class EngineStats:
             f"  modelled time   {self.modelled_seconds * 1e3:.3f} ms",
             f"  overlap saved   {self.overlap_saved_seconds * 1e3:.3f} ms",
         ]
+        if self.programs_compiled or self.program_replays \
+                or self.plan_evictions:
+            lines.append("  compiled programs:")
+            lines.append(f"    compiled        {self.programs_compiled} "
+                         f"({self.compile_seconds * 1e3:.3f} ms)")
+            lines.append(f"    replays         {self.program_replays} "
+                         f"({self.replay_seconds * 1e3:.3f} ms)")
+            lines.append(f"    evictions       {self.plan_evictions}")
         if self.per_primitive_calls:
             lines.append("  per primitive:")
             for name in sorted(self.per_primitive_calls):

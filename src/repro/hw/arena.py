@@ -27,6 +27,66 @@ import numpy as np
 from ..errors import AllocationError, TransferError
 
 
+#: chunk sizes with a native wide dtype; anything else gathers as void.
+_WIDE_DTYPES = {1: np.dtype(np.uint8), 2: np.dtype(np.uint16),
+                4: np.dtype(np.uint32), 8: np.dtype(np.uint64)}
+
+
+def flat_chunk_table(lane_table: np.ndarray, slot_table: np.ndarray,
+                     nslots: int) -> np.ndarray:
+    """Flatten a (lane, slot) table pair into one chunk-index table.
+
+    ``flat[l, s] = lane[l, s] * nslots + slot[l, s]`` indexes a group's
+    chunk block flattened to ``(lanes * nslots,)`` chunks.  Computed
+    once at plan-lowering time so steady-state replay does zero index
+    arithmetic.
+    """
+    flat = lane_table.astype(np.intp) * nslots + slot_table
+    flat.setflags(write=False)
+    return flat
+
+
+def take_chunks_by_table(grouped: np.ndarray, lane_table: np.ndarray,
+                         slot_table: np.ndarray,
+                         flat_table: np.ndarray | None = None) -> np.ndarray:
+    """Gather chunks by a precompiled (lane, slot) index-table pair.
+
+    ``grouped`` is a ``(ngroups, lanes, nslots_in, chunk_bytes)`` block
+    and the result is ``out[g, l, s] = grouped[g, lane[l, s],
+    slot[l, s]]`` -- one fancy index covering every group at once.
+    This is the single-dispatch core of compiled program replay: the
+    tables come pre-validated and pre-composed from plan lowering, so
+    no permutation check or index math happens here.
+
+    The gather views each chunk as one wide element (uint64 for 8-byte
+    chunks, opaque void otherwise) and takes along a single flattened
+    axis: numpy's single-axis integer take on wide elements is several
+    times faster than a two-table advanced index with a trailing byte
+    axis, which is where steady-state replay spends nearly all its
+    time.  Pass ``flat_table`` (see :func:`flat_chunk_table`) to skip
+    re-deriving the flattened indices per call.
+    """
+    if grouped.ndim != 4:
+        raise TransferError(
+            f"expected (groups, lanes, nslots, chunk) block, got shape "
+            f"{grouped.shape}")
+    if lane_table.shape != slot_table.shape:
+        raise TransferError(
+            f"index tables disagree: {lane_table.shape} vs "
+            f"{slot_table.shape}")
+    ngroups, lanes, nslots, chunk = grouped.shape
+    if flat_table is None:
+        flat_table = lane_table.astype(np.intp) * nslots + slot_table
+    wide = _WIDE_DTYPES.get(chunk, np.dtype((np.void, chunk)))
+    # One strided copy to a contiguous block, then a flat single-axis
+    # gather of wide elements; both beat fancy-indexing the strided
+    # source chunk-by-chunk.
+    block = np.ascontiguousarray(grouped)
+    out = np.take(block.view(wide).reshape(ngroups, lanes * nslots),
+                  flat_table, axis=1)
+    return out.view(np.uint8).reshape(ngroups, *flat_table.shape, chunk)
+
+
 class MemoryArena:
     """One lane-major uint8 array holding many PEs' MRAM banks.
 
@@ -47,7 +107,10 @@ class MemoryArena:
         self.max_rows = max_rows
         self._base = 0
         self._data = np.zeros((0, mram_bytes), dtype=np.uint8)
-        self._touched: set[int] = set()
+        # Boolean mask over all possible rows: marking a thousand PEs
+        # touched is one vectorized store, not a Python set update per
+        # id (the touched set sat on the hot path of every transfer).
+        self._touched = np.zeros(max_rows, dtype=bool)
 
     # ------------------------------------------------------------------
     # Row accounting
@@ -55,22 +118,22 @@ class MemoryArena:
     @property
     def touched_count(self) -> int:
         """How many distinct PEs have been touched."""
-        return len(self._touched)
+        return int(self._touched.sum())
 
     def touched_ids(self) -> list[int]:
         """Touched PE ids in ascending order."""
-        return sorted(self._touched)
+        return [int(pe) for pe in np.flatnonzero(self._touched)]
 
     def is_touched(self, pe_id: int) -> bool:
         """Whether ``pe_id`` has a live row."""
-        return pe_id in self._touched
+        return 0 <= pe_id < self.max_rows and bool(self._touched[pe_id])
 
     def touch(self, pe_ids) -> np.ndarray:
         """Materialize rows for ``pe_ids``; returns them as an id array."""
         ids = np.asarray(pe_ids, dtype=np.intp).reshape(-1)
         if ids.size:
             self._ensure(int(ids.min()), int(ids.max()) + 1)
-            self._touched.update(int(pe) for pe in ids)
+            self._touched[ids] = True
         return ids
 
     def _ensure(self, lo: int, hi: int) -> None:
@@ -150,6 +213,29 @@ class MemoryArena:
         # Slice the column window first, then gather: the fancy index
         # then copies only the requested bytes, never whole rows.
         return self._data[:, offset:offset + nbytes][self._rows(ids)]
+
+    def gather_chunks(self, pe_ids, offset: int, nslots: int,
+                      chunk_bytes: int, ngroups: int,
+                      lane_table: np.ndarray,
+                      slot_table: np.ndarray,
+                      flat_table: np.ndarray | None = None) -> np.ndarray:
+        """Fused take-by-index-table over grouped rows (compiled replay).
+
+        Reads ``nslots * chunk_bytes`` bytes at ``offset`` from each PE
+        (zero-copy when the id list is a strided run), views the block
+        as ``(ngroups, lanes, nslots, chunk_bytes)``, and gathers
+        ``out[g, l, s] = block[g, lane[l, s], slot[l, s]]`` in one
+        fancy index.  The gather itself materializes the copy, so no
+        separate staging copy of the source block is ever made.
+        """
+        total = nslots * chunk_bytes
+        block = self.lane_view(pe_ids, offset, total)
+        if block is None:
+            ids = self.touch(pe_ids)
+            block = self._data[:, offset:offset + total][self._rows(ids)]
+        grouped = block.reshape(ngroups, -1, nslots, chunk_bytes)
+        return take_chunks_by_table(grouped, lane_table, slot_table,
+                                    flat_table)
 
     def write_rows(self, pe_ids, offset: int, matrix: np.ndarray) -> None:
         """Write lane-matrix rows into each PE at ``offset``."""

@@ -146,12 +146,32 @@ def _rotate_sweep_ops(lanes: int, nbytes: int,
     return probe.loads, probe.shuffles, probe.stores
 
 
-def _charge_sweep(lanes: int, nbytes: int, nslots: int,
-                  counter: SimdCounter) -> None:
+def charge_rotate_sweep(lanes: int, nbytes: int, nslots: int,
+                        counter: SimdCounter) -> None:
+    """Charge the full slot sweep (rotations ``0..nslots-1``) at once.
+
+    This is the register-op bill of :func:`rotate_all_slots` /
+    :func:`fanout_all_slots`; plan lowering uses it to pre-price a
+    compiled program's host pass without touching data.
+    """
     loads, shuffles, stores = _rotate_sweep_ops(lanes, nbytes, nslots)
     counter.loads += loads
     counter.shuffles += shuffles
     counter.stores += stores
+
+
+@lru_cache(maxsize=None)
+def rotation_table(lanes: int, nslots: int) -> np.ndarray:
+    """Read-only ``(lanes, nslots)`` source-lane table of the slot sweep.
+
+    ``table[l, s] = (l - s) % lanes``: the gather index both
+    :func:`rotate_all_slots` and :func:`fanout_all_slots` apply, shared
+    (memoized) across calls and across compiled programs.
+    """
+    table = (np.arange(lanes, dtype=np.intp)[:, None]
+             - np.arange(nslots, dtype=np.intp)[None, :]) % lanes
+    table.setflags(write=False)
+    return table
 
 
 def rotate_all_slots(tensor: np.ndarray,
@@ -171,8 +191,8 @@ def rotate_all_slots(tensor: np.ndarray,
             f"ndim={tensor.ndim}")
     lanes, nslots, _chunk = tensor.shape
     counter = counter if counter is not None else SimdCounter()
-    _charge_sweep(lanes, tensor.shape[2], nslots, counter)
-    src = (np.arange(lanes)[:, None] - np.arange(nslots)[None, :]) % lanes
+    charge_rotate_sweep(lanes, tensor.shape[2], nslots, counter)
+    src = rotation_table(lanes, nslots)
     return tensor[src, np.arange(nslots)[None, :], :]
 
 
@@ -187,8 +207,8 @@ def fanout_all_slots(row: np.ndarray, nslots: int,
     """
     lanes, nbytes = _check_row(row)
     counter = counter if counter is not None else SimdCounter()
-    _charge_sweep(lanes, nbytes, nslots, counter)
-    src = (np.arange(lanes)[:, None] - np.arange(nslots)[None, :]) % lanes
+    charge_rotate_sweep(lanes, nbytes, nslots, counter)
+    src = rotation_table(lanes, nslots)
     return row[src]
 
 

@@ -38,6 +38,7 @@ from .pe import (
     batched_permute_tiles,
     check_permutation_rows,
     permute_chunks_batched,
+    take_chunks_by_table,
     wram_permute_chunks,
 )
 from .timing import MachineParams
@@ -367,6 +368,62 @@ class DimmSystem:
             return
         for pe in pe_ids:
             self.memory(pe).write(offset, buf)
+
+    # ------------------------------------------------------------------
+    # Compiled-program kernels (injector-free: replay only runs on
+    # perfect hardware; the engine routes faulty systems to the
+    # interpreted path)
+    # ------------------------------------------------------------------
+    def take_by_table(self, pe_ids: Sequence[int], ngroups: int,
+                      src_offset: int, nslots_in: int, chunk_bytes: int,
+                      lane_table: np.ndarray, slot_table: np.ndarray,
+                      flat_table: np.ndarray | None = None) -> np.ndarray:
+        """Gather chunks by a precompiled (lane, slot) index-table pair.
+
+        ``pe_ids`` is the rank-ordered concatenation of ``ngroups``
+        equal-size groups; the result is the ``(ngroups, lanes,
+        nslots_out, chunk_bytes)`` gather ``out[g, l, s] =
+        in[g, lane[l, s], slot[l, s]]`` over each group's
+        ``(lanes, nslots_in)`` chunk block at ``src_offset``.  The
+        vectorized backend does this in one fancy index over the arena;
+        the scalar backend stacks per-PE reads first, so compiled
+        programs replay on either backend.
+        """
+        ids = self._lane_ids(pe_ids)
+        if self.vectorized:
+            return self._ensure_arena().gather_chunks(
+                ids, src_offset, nslots_in, chunk_bytes, ngroups,
+                lane_table, slot_table, flat_table)
+        total = nslots_in * chunk_bytes
+        rows = np.stack([self.memory(int(pe)).read(src_offset, total)
+                         for pe in ids])
+        grouped = rows.reshape(ngroups, -1, nslots_in, chunk_bytes)
+        return take_chunks_by_table(grouped, lane_table, slot_table,
+                                    flat_table)
+
+    def put_rows(self, pe_ids: Sequence[int], offset: int,
+                 matrix: np.ndarray) -> None:
+        """Write a pre-shaped ``(len(pe_ids), nbytes)`` uint8 lane matrix.
+
+        The put half of the compiled-program kernels: no injector
+        consultation and no per-call shape re-validation (lowering
+        already fixed the shapes).
+        """
+        if self.vectorized:
+            self._ensure_arena().write_rows(self._lane_ids(pe_ids), offset,
+                                            matrix)
+            return
+        for row, pe in zip(matrix, pe_ids):
+            self.memory(int(pe)).write(offset, row)
+
+    def take_rows(self, pe_ids: Sequence[int], offset: int,
+                  nbytes: int) -> np.ndarray:
+        """Injector-free lane-matrix read (compiled host-pull kernel)."""
+        if self.vectorized:
+            return self._ensure_arena().read_rows(self._lane_ids(pe_ids),
+                                                  offset, nbytes)
+        return np.stack([self.memory(int(pe)).read(offset, nbytes)
+                         for pe in pe_ids])
 
     # ------------------------------------------------------------------
     # PE-local kernels over ordered PE lists

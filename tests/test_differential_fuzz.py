@@ -53,7 +53,7 @@ def _random_case(rng: np.random.Generator) -> dict:
 
 def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
              dtype, chunk: int, config, injector=None,
-             backend: str = "scalar"):
+             backend: str = "scalar", execution: str = "auto"):
     """One randomized collective, checked bit-exactly against reference.
 
     Returns the engine's CommResult (so fault sweeps can inspect
@@ -62,7 +62,7 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
     manager = make_manager(shape)
     system = manager.system
     comm = Communicator(manager, config=config, fault_injector=injector,
-                        backend=backend)
+                        backend=backend, execution=execution)
     bitmap = _random_bitmap(rng, manager.ndim)
     groups = groups_of(manager, bitmap)
     n = groups[0].size
@@ -133,30 +133,32 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
 
 
 def _sweep(seed: int, cases: int, injector_factory=None,
-           backend: str = "scalar") -> list:
+           backend: str = "scalar", execution: str = "auto") -> list:
     rng = np.random.default_rng(seed)
     results = []
     for _ in range(cases):
         case = _random_case(rng)
         injector = injector_factory() if injector_factory else None
         results.append(run_case(rng, injector=injector, backend=backend,
-                                **case))
+                                execution=execution, **case))
     return results
 
 
 class TestHealthySweep:
+    @pytest.mark.parametrize("execution", ["interpreted", "compiled"])
     @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
-    def test_random_cases_match_reference(self, backend):
-        _sweep(seed=2024, cases=32, backend=backend)
+    def test_random_cases_match_reference(self, backend, execution):
+        _sweep(seed=2024, cases=32, backend=backend, execution=execution)
 
+    @pytest.mark.parametrize("execution", ["interpreted", "compiled"])
     @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
-    def test_every_primitive_covered(self, backend):
+    def test_every_primitive_covered(self, backend, execution):
         # The randomized sweep must not silently skip a primitive:
         # enumerate all eight explicitly at a fixed shape/config.
         rng = np.random.default_rng(5)
         for primitive in PRIMITIVES:
             run_case(rng, primitive, (4, 8), INT64, 2, FULL,
-                     backend=backend)
+                     backend=backend, execution=execution)
 
     def test_replay_is_deterministic(self):
         a = [r.plan.primitive for r in _sweep(seed=11, cases=8)]

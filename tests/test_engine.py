@@ -585,7 +585,7 @@ class TestBindPayloads:
                     for g in groups}
         comm.scatter("101", 16, dst_offset=dst, payloads=payloads)
         key = next(iter(comm.cache._plans))
-        cached = comm.cache._plans[key]
+        cached = comm.cache._plans[key].plan
         # The cached plan stays payload-free; the bound copy is separate.
         assert all(getattr(step, "payloads", None) is None
                    for step in cached.steps)

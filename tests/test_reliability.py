@@ -264,6 +264,57 @@ class TestSnapshotRestore:
         assert retried, "no seed in range produced a retry"
 
 
+class TestSnapshotElision:
+    """Healthy reliable runs must not pay for rewind snapshots.
+
+    ``_snapshot_needed`` gates the per-attempt MRAM footprint snapshot
+    on the injector actually being able to trigger a retry: non-zero
+    transient rates or an already-failed rank.
+    """
+
+    def _count_snapshots(self, monkeypatch, injector, check=True):
+        calls = [0]
+        original = Communicator._snapshot
+
+        def counting(self, req):
+            calls[0] += 1
+            return original(self, req)
+
+        monkeypatch.setattr(Communicator, "_snapshot", counting)
+        manager = make_manager((4, 8))
+        system = manager.system
+        comm = Communicator(manager, fault_injector=injector)
+        groups = groups_of(manager, "11")
+        n = groups[0].size
+        src = system.alloc(n * 2 * 8)
+        dst = system.alloc(n * 2 * 8)
+        inputs = fill_group_inputs(system, groups, src, n * 2, INT64,
+                                   np.random.default_rng(3))
+        comm.alltoall("11", n * 2 * 8, src_offset=src, dst_offset=dst)
+        if check:
+            want = ref.alltoall(inputs[0])
+            for pe, expect in zip(groups[0].pe_ids, want):
+                np.testing.assert_array_equal(
+                    system.read_elements(pe, dst, n * 2, INT64), expect)
+        return calls[0]
+
+    def test_zero_rate_injector_skips_snapshot(self, monkeypatch):
+        assert self._count_snapshots(
+            monkeypatch, FaultInjector(seed=1)) == 0
+
+    def test_transient_rates_keep_snapshotting(self, monkeypatch):
+        assert self._count_snapshots(
+            monkeypatch,
+            FaultInjector(seed=1, bit_flip_rate=0.001)) >= 1
+
+    def test_failed_rank_keeps_snapshotting(self, monkeypatch):
+        # Degraded runs remap PEs, so skip the healthy-reference check.
+        injector = FaultInjector(seed=1)
+        injector.fail_rank(0)
+        assert self._count_snapshots(monkeypatch, injector,
+                                     check=False) >= 1
+
+
 # ----------------------------------------------------------------------
 # Fault class: permanent rank failure -> graceful degradation
 # ----------------------------------------------------------------------
