@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Benchmark streamed tiled replay vs. untiled compiled replay.
+
+Runs a large functional AlltoAll with the session engine in
+``execution="compiled"`` mode, untiled and streamed
+(``stream_tile_bytes=...``), on the vectorized backend.  Before timing,
+the streamed path is checked bit-exact against the *scalar interpreted*
+oracle at a moderate size (outputs, SIMD counters, WRAM tiles) and
+against the untiled compiled replay at the full gate size, so streaming
+can never trade correctness for speed.  Timing measures the steady
+state: plan, program, the op's arena-global gather table and the
+scratch-pool buffers are all built on a warmup call, then the timed
+loop replays band by band with zero heap allocations.
+
+Why streaming wins: the untiled replay materializes the whole payload
+three times (staging copy, gather result, scatter write-back), while
+the streamed replay gathers each output-row band straight from the
+strided source with one ``np.take(..., out=)`` into a reusable
+scratch-pool tile -- roughly half the DRAM traffic, and the working set
+stays cache-sized.
+
+The script exits non-zero if any parity check fails, if the headline
+speedup falls below the threshold (>= 2x for the full 1024-PE / 64 MiB
+run, >= 1.2x for ``--smoke``), or if the scratch pool's high-water mark
+ever exceeds two tiles::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --smoke
+    PYTHONPATH=src python benchmarks/bench_stream.py   # full gate
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import Communicator, DimmGeometry, DimmSystem, HypercubeManager
+from repro.core.groups import slice_groups
+from repro.dtypes import INT64
+
+GEOMETRIES = {
+    256: DimmGeometry(2, 2, 8, 8),
+    1024: DimmGeometry(4, 4, 8, 8),
+}
+
+#: mode -> gate workload.  ``per_pe`` bytes of AlltoAll payload per PE
+#: (full: 1024 PEs x 64 KiB = 64 MiB, the ISSUE's acceptance case).
+MODES = {
+    "full": {"npes": 1024, "per_pe": 1 << 16, "mram": 1 << 18,
+             "tile": 8 << 20, "sweep": (4 << 20, 8 << 20, 16 << 20),
+             "threshold": 2.0, "iters": 6},
+    "smoke": {"npes": 256, "per_pe": 1 << 16, "mram": 1 << 18,
+              "tile": 2 << 20, "sweep": (2 << 20,),
+              "threshold": 1.2, "iters": 12},
+}
+
+#: parity workload (scalar interpreted oracle; kept moderate because
+#: the oracle loops PEs in Python).
+PARITY = {"npes": 256, "per_pe": 1 << 12, "mram": 1 << 14}
+
+
+def setup(npes, per_pe, mram, backend, execution, tile=None):
+    """Fresh system + communicator + seeded inputs for one run."""
+    system = DimmSystem(GEOMETRIES[npes], mram_bytes=mram, backend=backend)
+    manager = HypercubeManager(system, shape=(npes,))
+    kwargs = {} if tile is None else {"stream_tile_bytes": tile}
+    comm = Communicator(manager, execution=execution, **kwargs)
+    pe_ids = slice_groups(manager, "1")[0].pe_ids
+    rng = np.random.default_rng(11)
+    values = rng.integers(-99, 100, (npes, per_pe // INT64.itemsize),
+                          dtype=np.int64)
+    system.scatter_elements(pe_ids, 0, list(values), INT64)
+    return system, comm, pe_ids
+
+
+def invoke(comm, per_pe):
+    """One functional AlltoAll; src at 0, dst right after it."""
+    return comm.alltoall("1", per_pe, src_offset=0, dst_offset=per_pe,
+                         data_type=INT64)
+
+
+def outputs_of(system, pe_ids, per_pe):
+    return np.stack(system.gather_elements(
+        pe_ids, per_pe, per_pe // INT64.itemsize, INT64))
+
+
+def check_oracle_parity(tile):
+    """Streamed replay vs. the scalar interpreted oracle, bit-exact."""
+    runs = {}
+    for mode, backend, execution, t in (
+            ("oracle", "scalar", "interpreted", None),
+            ("streamed", "vectorized", "compiled", tile)):
+        system, comm, pe_ids = setup(PARITY["npes"], PARITY["per_pe"],
+                                     PARITY["mram"], backend, execution,
+                                     tile=t)
+        result = invoke(comm, PARITY["per_pe"])
+        runs[mode] = (outputs_of(system, pe_ids, PARITY["per_pe"]), result)
+    oracle_out, oracle_res = runs["oracle"]
+    stream_out, stream_res = runs["streamed"]
+    if stream_res.execution != "streamed" or stream_res.tiles < 2:
+        raise SystemExit(
+            f"PARITY FAIL: streaming did not engage "
+            f"(execution={stream_res.execution}, tiles={stream_res.tiles})")
+    if not np.array_equal(oracle_out, stream_out):
+        raise SystemExit("PARITY FAIL: streamed outputs diverge from the "
+                         "scalar interpreted oracle")
+    if oracle_res.simd != stream_res.simd:
+        raise SystemExit("PARITY FAIL: SIMD counters differ")
+    if oracle_res.wram_tiles != stream_res.wram_tiles:
+        raise SystemExit("PARITY FAIL: WRAM tile counts differ")
+    if stream_res.ledger.total > oracle_res.ledger.total:
+        raise SystemExit("PARITY FAIL: pipelined ledger exceeds the "
+                         "interpreted estimate")
+
+
+def check_untiled_parity(spec, tile):
+    """Streamed vs. untiled compiled replay at the full gate size."""
+    outs = {}
+    for mode, t in (("untiled", None), ("streamed", tile)):
+        system, comm, pe_ids = setup(spec["npes"], spec["per_pe"],
+                                     spec["mram"], "vectorized",
+                                     "compiled", tile=t)
+        invoke(comm, spec["per_pe"])
+        outs[mode] = outputs_of(system, pe_ids, spec["per_pe"])
+    if not np.array_equal(outs["untiled"], outs["streamed"]):
+        raise SystemExit("PARITY FAIL: streamed gate-size outputs diverge "
+                         "from untiled compiled replay")
+
+
+def time_replay(spec, tile, iters):
+    """Mean steady-state seconds per AlltoAll; returns (secs, result)."""
+    system, comm, pe_ids = setup(spec["npes"], spec["per_pe"],
+                                 spec["mram"], "vectorized", "compiled",
+                                 tile=tile)
+    invoke(comm, spec["per_pe"])  # warm caches, tables, pool buffers
+    start = time.perf_counter()
+    for _ in range(iters):
+        result = invoke(comm, spec["per_pe"])
+    return (time.perf_counter() - start) / iters, result
+
+
+def main(argv=None):
+    """Parse args, check parity, time the gate, write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI (256 PEs, 16 MiB "
+                             "payload, >= 1.2x gate)")
+    parser.add_argument("--out", default="BENCH_stream.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    spec = MODES[mode]
+    payload = spec["npes"] * spec["per_pe"]
+
+    print(f"[parity] streamed vs scalar interpreted oracle ...", flush=True)
+    check_oracle_parity(tile=spec["tile"] // 16)
+    print(f"[parity] streamed vs untiled compiled at gate size ...",
+          flush=True)
+    check_untiled_parity(spec, spec["tile"])
+
+    untiled_s, _ = time_replay(spec, None, spec["iters"])
+    sweep = []
+    failures = []
+    headline = None
+    for tile in spec["sweep"]:
+        streamed_s, result = time_replay(spec, tile, spec["iters"])
+        speedup = untiled_s / streamed_s
+        entry = {
+            "tile_bytes": tile,
+            "tiles": result.tiles,
+            "seconds_per_op": streamed_s,
+            "speedup_vs_untiled": speedup,
+            "peak_scratch_bytes": result.peak_scratch_bytes,
+        }
+        sweep.append(entry)
+        if result.peak_scratch_bytes > 2 * tile:
+            failures.append(
+                f"peak scratch {result.peak_scratch_bytes}B exceeds two "
+                f"{tile}B tiles")
+        if tile == spec["tile"]:
+            headline = entry
+        print(f"[timing] tile {tile >> 10} KiB: untiled "
+              f"{untiled_s * 1e3:.3f}ms, streamed {streamed_s * 1e3:.3f}ms "
+              f"({speedup:.2f}x, {result.tiles} tiles, peak scratch "
+              f"{result.peak_scratch_bytes >> 10} KiB)", flush=True)
+
+    report = {
+        "mode": mode,
+        "workload": {"collective": "alltoall", "npes": spec["npes"],
+                     "payload_bytes": payload, "dtype": "int64",
+                     "backend": "vectorized"},
+        "parity": "bit-exact vs scalar interpreted oracle (outputs, simd, "
+                  "wram_tiles) and vs untiled compiled replay at gate size",
+        "untiled_seconds_per_op": untiled_s,
+        "headline": {"tile_bytes": spec["tile"],
+                     "threshold": spec["threshold"],
+                     "speedup": headline["speedup_vs_untiled"],
+                     "peak_scratch_bytes": headline["peak_scratch_bytes"],
+                     "scratch_bound": "<= 2 tiles"},
+        "sweep": sweep,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if headline["speedup_vs_untiled"] < spec["threshold"]:
+        failures.append(
+            f"headline streamed speedup {headline['speedup_vs_untiled']:.2f}x"
+            f" < {spec['threshold']:.1f}x")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: streamed replay {headline['speedup_vs_untiled']:.2f}x >= "
+          f"{spec['threshold']:.1f}x, peak scratch "
+          f"{headline['peak_scratch_bytes']}B <= 2 tiles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,9 @@ class WaveTrace:
     #: Extra executions the reliability layer spent in this wave
     #: (sum of ``result.attempts - 1`` over the wave's requests).
     retries: int = 0
+    #: Payload tiles streamed replay ran across the wave's requests
+    #: (0 when the wave executed unstreamed).
+    tiles: int = 0
 
     @property
     def seconds(self) -> float:
@@ -118,12 +121,16 @@ def trace_batch(batch: BatchResult) -> list[WaveTrace]:
     attempts = {future.index: (future.result().attempts
                                if future.done() else 1)
                 for future in batch.futures}
+    tiles = {future.index: (future.result().tiles
+                            if future.done() else 0)
+             for future in batch.futures}
     return [WaveTrace(index=cost.index,
                       labels=[labels[i] for i in cost.request_indices],
                       ledger=cost.ledger,
                       serial_seconds=cost.serial_seconds,
                       retries=sum(attempts[i] - 1
-                                  for i in cost.request_indices))
+                                  for i in cost.request_indices),
+                      tiles=sum(tiles[i] for i in cost.request_indices))
             for cost in batch.wave_costs]
 
 
@@ -147,9 +154,28 @@ def render_batch_timeline(batch: BatchResult) -> str:
         saved = (f"  (hides {t.overlap_saved * 1e3:.3f} ms)"
                  if t.overlap_saved > 0 else "")
         retried = f"  [{t.retries} retries]" if t.retries else ""
+        tiled = f"  [{t.tiles} tiles]" if t.tiles else ""
         lines.append(f"wave {t.index} |{t.seconds * 1e3:>9.3f} ms  "
                      f"{_bar(t.seconds, longest):<{_BAR_WIDTH}s} "
-                     f"{members}{saved}{retried}")
+                     f"{members}{saved}{retried}{tiled}")
+    return "\n".join(lines)
+
+
+def render_stream(stats) -> str:
+    """Render an :class:`~repro.engine.stats.EngineStats` streaming block.
+
+    Example::
+
+        Streamed replay(96 tiles over 12 replays)
+        peak scratch 16777216 B
+        replay time  4.200 ms
+    """
+    if not stats.tiles_replayed:
+        return "Streamed replay(no streamed replays)"
+    lines = [f"Streamed replay({stats.tiles_replayed} tiles over "
+             f"{stats.program_replays} replays)",
+             f"peak scratch {stats.peak_scratch_bytes} B",
+             f"replay time  {stats.replay_seconds * 1e3:.3f} ms"]
     return "\n".join(lines)
 
 

@@ -40,6 +40,12 @@ class ExecContext:
     #: per-PE tile count, so this is backend-invariant by construction
     #: (asserted by ``tests/test_backend_parity.py``).
     wram_tiles: int = 0
+    #: Payload tiles replayed by a *streamed* compiled execution
+    #: (``CommProgram.replay(..., tile_bytes=...)``); 0 when the run
+    #: was interpreted or replayed unstreamed.
+    tiles: int = 0
+    #: Scratch-pool high-water mark (bytes) of a streamed replay.
+    peak_scratch_bytes: int = 0
 
 
 class Step(abc.ABC):

@@ -38,8 +38,14 @@ from typing import Any, Mapping
 import numpy as np
 
 from ...errors import CollectiveError, TransferError
-from ...hw.arena import flat_chunk_table
+from ...hw.arena import (
+    ScratchPool,
+    flat_chunk_table,
+    take_band_staged,
+    wide_dtype,
+)
 from ...hw.host import SimdCounter
+from ...hw.kernels import fold_slots
 from ...hw.system import DimmSystem
 from ...hw.timing import CostLedger, MachineParams
 from .plan import CommPlan, ExecContext, Step
@@ -52,6 +58,48 @@ def readonly_table(table: np.ndarray) -> np.ndarray:
         arr = arr.copy()
     arr.setflags(write=False)
     return arr
+
+
+def band_ranges(rows: int, row_bytes: int,
+                tile_bytes: int) -> list[tuple[int, int]]:
+    """Output-row bands whose gathered tile fits ``tile_bytes``.
+
+    Streamed replay tiles along the *output-row* axis: every op's
+    gather is ``out[r, s] = in[lane(r, s), slot(r, s)]`` over
+    independent output rows, so any partition of ``[0, rows)`` replays
+    exactly -- each band applies its own slice of the index table once,
+    keeping total index work identical to the untiled gather.  The
+    band height is the largest number of ``row_bytes``-wide output
+    rows fitting ``tile_bytes``, clamped to at least one row; the last
+    band is shorter when the height does not divide ``rows`` evenly.
+    """
+    if rows <= 0:
+        return []
+    band = min(rows, max(1, tile_bytes // max(1, row_bytes)))
+    return [(r0, min(r0 + band, rows)) for r0 in range(0, rows, band)]
+
+
+def _stream_table(op, system: DimmSystem
+                  ) -> tuple[np.ndarray, int] | None:
+    """The op's cached arena-global gather table (None on scalar).
+
+    Built once per (arena identity, arena version) and cached on the
+    op, so steady-state streamed replay re-derives no index math; an
+    arena growth between replays rebuilds it against the fresh rows.
+    """
+    token = system.stream_token()
+    if token is None:
+        return None
+    cached = op._stream_cache
+    if cached is not None and cached[0] == token:
+        return cached[1], cached[2]
+    table, width = system.stream_table(
+        op.ids, op.ngroups, op.src_offset, op.chunk_bytes,
+        op.lane, op.slot)
+    # Building the table may itself grow the arena (it touches every
+    # source row), so the validity token is read after the build.
+    op._stream_cache = (system.stream_token(), table, width)
+    return table, width
 
 
 def scaled_counter(counter: SimdCounter, factor: int) -> SimdCounter:
@@ -81,6 +129,23 @@ class ProgramOp(abc.ABC):
     def execute(self, ctx: ExecContext,
                 payloads: Mapping[int, np.ndarray] | None) -> None:
         """Replay this stage against ``ctx.system``."""
+
+    def execute_streamed(self, ctx: ExecContext,
+                         payloads: Mapping[int, np.ndarray] | None,
+                         pool: ScratchPool, tile_bytes: int) -> None:
+        """Replay tile-by-tile through the scratch pool.
+
+        The default falls back to one untiled :meth:`execute` pass
+        (host-flow ops produce inherently full-size host state); tiled
+        overrides must stay bit-identical to ``execute`` and charge
+        ``ctx.tiles`` with the count :meth:`tile_count` predicts.
+        """
+        self.execute(ctx, payloads)
+        ctx.tiles += 1
+
+    def tile_count(self, tile_bytes: int) -> int:
+        """Tiles :meth:`execute_streamed` replays at this budget."""
+        return 1
 
     def _charge(self, ctx: ExecContext) -> None:
         ctx.simd.merge(self.simd)
@@ -120,6 +185,7 @@ class GatherMoveOp(ProgramOp):
         # Flatten the table pair once at lowering time; replay then
         # gathers along a single pre-indexed axis (see arena docs).
         self.flat = flat_chunk_table(self.lane, self.slot, self.nslots_in)
+        self._stream_cache = None
 
     def execute(self, ctx: ExecContext,
                 payloads: Mapping[int, np.ndarray] | None) -> None:
@@ -129,6 +195,61 @@ class GatherMoveOp(ProgramOp):
         ctx.system.put_rows(
             self.ids, self.dst_offset,
             block.reshape(self.ids.size, self.nslots_out * self.chunk_bytes))
+        self._charge(ctx)
+
+    def _stream_safe(self) -> bool:
+        """Whether row-band tiling cannot read bytes a band wrote.
+
+        Each band writes its rows' full destination region before
+        later bands read their (arbitrarily cross-lane) sources, so
+        streaming is exact only when the source and destination
+        regions are disjoint; in-place rewrites fall back to the
+        untiled pass.
+        """
+        src_end = self.src_offset + self.nslots_in * self.chunk_bytes
+        dst_end = self.dst_offset + self.nslots_out * self.chunk_bytes
+        return src_end <= self.dst_offset or dst_end <= self.src_offset
+
+    def _bands(self, tile_bytes: int) -> list[tuple[int, int]] | None:
+        if not self._stream_safe():
+            return None
+        return band_ranges(self.ids.size,
+                           self.nslots_out * self.chunk_bytes, tile_bytes)
+
+    def tile_count(self, tile_bytes: int) -> int:
+        bands = self._bands(tile_bytes)
+        return len(bands) if bands is not None else 1
+
+    def execute_streamed(self, ctx: ExecContext,
+                         payloads: Mapping[int, np.ndarray] | None,
+                         pool: ScratchPool, tile_bytes: int) -> None:
+        bands = self._bands(tile_bytes)
+        if bands is None:
+            super().execute_streamed(ctx, payloads, pool, tile_bytes)
+            return
+        row_bytes = self.nslots_out * self.chunk_bytes
+        table = _stream_table(self, ctx.system)
+        if table is None:  # scalar backend: stage once, band-take after
+            stage = pool.ping((self.ids.size,
+                               self.nslots_in * self.chunk_bytes))
+            ctx.system.stage_rows(self.ids, self.src_offset,
+                                  self.nslots_in * self.chunk_bytes, stage)
+            grouped = stage.view(wide_dtype(self.chunk_bytes)).reshape(
+                self.ngroups, -1)
+        for r0, r1 in bands:
+            if table is not None:
+                flat_table, width = table
+                out = pool.pong((r1 - r0, flat_table.shape[1]),
+                                wide_dtype(width))
+                ctx.system.take_band_flat(flat_table, width, r0, r1, out)
+            else:
+                out = pool.pong((r1 - r0, self.nslots_out),
+                                wide_dtype(self.chunk_bytes))
+                take_band_staged(grouped, self.flat, r0, r1, out)
+            ctx.system.put_rows(
+                self.ids[r0:r1], self.dst_offset,
+                out.view(np.uint8).reshape(r1 - r0, row_bytes))
+        ctx.tiles += len(bands)
         self._charge(ctx)
 
 
@@ -161,6 +282,7 @@ class ReduceFoldOp(ProgramOp):
 
     def __post_init__(self) -> None:
         self.flat = flat_chunk_table(self.lane, self.slot, self.nslots)
+        self._stream_cache = None
 
     def execute(self, ctx: ExecContext,
                 payloads: Mapping[int, np.ndarray] | None) -> None:
@@ -168,12 +290,7 @@ class ReduceFoldOp(ProgramOp):
             self.ids, self.ngroups, self.src_offset, self.nslots,
             self.chunk_bytes, self.lane, self.slot, self.flat)
         values = block.view(self.dtype.np_dtype)
-        if self.dtype.np_dtype.kind in "iub":
-            acc = self.op.reduce_axis(values, axis=2)
-        else:
-            acc = values[:, :, 0].copy()
-            for s in range(1, self.nslots):
-                acc = self.op.combine(acc, values[:, :, s])
+        acc = fold_slots(values, self.op)
         if self.dst_offset is not None:
             raw = np.ascontiguousarray(acc).view(np.uint8)
             ctx.system.put_rows(self.ids, self.dst_offset,
@@ -181,6 +298,83 @@ class ReduceFoldOp(ProgramOp):
         if self.scratch_key is not None:
             ctx.scratch[self.scratch_key] = {
                 inst: acc[g] for g, inst in enumerate(self.instances)}
+        self._charge(ctx)
+
+    def _stream_safe(self) -> bool:
+        """Banding safety for the fold's read-many/write-one overlap.
+
+        A band's destination chunks must not alias any source slot a
+        later band still reads (the rotation gather crosses lanes), so
+        streaming is exact only when the destination chunk lies
+        entirely outside the source block -- or when there is no MRAM
+        destination at all (host-scratch-only reduces).
+        """
+        if self.dst_offset is None:
+            return True
+        src_end = self.src_offset + self.nslots * self.chunk_bytes
+        dst_end = self.dst_offset + self.chunk_bytes
+        return src_end <= self.dst_offset or dst_end <= self.src_offset
+
+    def _bands(self, tile_bytes: int) -> list[tuple[int, int]] | None:
+        if not self._stream_safe():
+            return None
+        return band_ranges(self.ids.size, self.nslots * self.chunk_bytes,
+                           tile_bytes)
+
+    def tile_count(self, tile_bytes: int) -> int:
+        bands = self._bands(tile_bytes)
+        return len(bands) if bands is not None else 1
+
+    def execute_streamed(self, ctx: ExecContext,
+                         payloads: Mapping[int, np.ndarray] | None,
+                         pool: ScratchPool, tile_bytes: int) -> None:
+        bands = self._bands(tile_bytes)
+        if bands is None:
+            super().execute_streamed(ctx, payloads, pool, tile_bytes)
+            return
+        item = self.dtype.itemsize
+        np_dtype = self.dtype.np_dtype
+        lanes = self.lane.shape[0]
+        elems = self.chunk_bytes // item
+        # Host scratch escapes the replay (it backs reduce host
+        # outputs), so it is genuinely new state per call -- the one
+        # allocation streaming keeps, O(payload / nslots).
+        full = (np.empty((self.ids.size, elems), dtype=np_dtype)
+                if self.scratch_key is not None else None)
+        table = _stream_table(self, ctx.system)
+        if table is None:  # scalar backend: stage once, band-take after
+            stage = pool.ping((self.ids.size,
+                               self.nslots * self.chunk_bytes))
+            ctx.system.stage_rows(self.ids, self.src_offset,
+                                  self.nslots * self.chunk_bytes, stage)
+            grouped = stage.view(wide_dtype(self.chunk_bytes)).reshape(
+                self.ngroups, -1)
+        for r0, r1 in bands:
+            band = r1 - r0
+            if table is not None:
+                flat_table, width = table
+                gathered = pool.pong((band, flat_table.shape[1]),
+                                     wide_dtype(width))
+                ctx.system.take_band_flat(flat_table, width, r0, r1,
+                                          gathered)
+            else:
+                gathered = pool.pong((band, self.nslots),
+                                     wide_dtype(self.chunk_bytes))
+                take_band_staged(grouped, self.flat, r0, r1, gathered)
+            values = gathered.view(np.uint8).reshape(
+                band, self.nslots, self.chunk_bytes).view(np_dtype)
+            acc = fold_slots(values, self.op,
+                             out=pool.fold((band, elems), np_dtype))
+            if self.dst_offset is not None:
+                ctx.system.put_rows(self.ids[r0:r1], self.dst_offset,
+                                    acc.view(np.uint8))
+            if full is not None:
+                full[r0:r1] = acc
+        if full is not None:
+            shaped = full.reshape(self.ngroups, lanes, elems)
+            ctx.scratch[self.scratch_key] = {
+                inst: shaped[g] for g, inst in enumerate(self.instances)}
+        ctx.tiles += len(bands)
         self._charge(ctx)
 
 
@@ -224,6 +418,45 @@ class FanoutScratchOp(ProgramOp):
             ctx.system.put_rows(
                 ids, self.dst_offset,
                 fanned.reshape(ids.size, self.nslots_out * self.chunk_bytes))
+        self._charge(ctx)
+
+    def _bands(self, tile_bytes: int) -> list[tuple[int, int]]:
+        # Source rows live in host scratch, destination in MRAM --
+        # banding is always safe here.
+        return band_ranges(self.lane.shape[0],
+                           self.nslots_out * self.chunk_bytes, tile_bytes)
+
+    def tile_count(self, tile_bytes: int) -> int:
+        return len(self._bands(tile_bytes)) * len(self.group_ids)
+
+    def execute_streamed(self, ctx: ExecContext,
+                         payloads: Mapping[int, np.ndarray] | None,
+                         pool: ScratchPool, tile_bytes: int) -> None:
+        results = ctx.scratch.get(self.scratch_key)
+        if results is None:
+            raise CollectiveError(
+                f"no host scratch {self.scratch_key!r}; run the reduce "
+                "exchange first")
+        bands = self._bands(tile_bytes)
+        lanes = self.lane.shape[0]
+        row_bytes = self.nslots_out * self.chunk_bytes
+        for ids, inst in zip(self.group_ids, self.instances):
+            row = np.ascontiguousarray(results[inst]).view(np.uint8)
+            if row.shape != (lanes, self.chunk_bytes):
+                raise TransferError(
+                    f"scratch row {row.shape} does not match group "
+                    f"({lanes}, {self.chunk_bytes})")
+            # The scratch matrix is contiguous, so each chunk is one
+            # wide element regardless of alignment.
+            chunks = row.view(wide_dtype(self.chunk_bytes)).reshape(-1)
+            for r0, r1 in bands:
+                fanned = pool.pong((r1 - r0, self.nslots_out),
+                                   wide_dtype(self.chunk_bytes))
+                np.take(chunks, self.lane[r0:r1], out=fanned)
+                ctx.system.put_rows(
+                    ids[r0:r1], self.dst_offset,
+                    fanned.view(np.uint8).reshape(r1 - r0, row_bytes))
+        ctx.tiles += len(bands) * len(self.group_ids)
         self._charge(ctx)
 
 
@@ -441,20 +674,52 @@ class CommProgram:
             self._params = system.params
         return self._ledger.copy()
 
+    def tile_counts(self, tile_bytes: int) -> list[int]:
+        """Per-op tile counts a streamed replay at this budget runs."""
+        return [op.tile_count(tile_bytes) for op in self.ops]
+
+    def pipeline_depth(self, tile_bytes: int) -> int:
+        """Software-pipeline depth: the deepest single op's tile count."""
+        return max(self.tile_counts(tile_bytes), default=1)
+
     def replay(self, system: DimmSystem,
-               payloads: Mapping[int, np.ndarray] | None = None
+               payloads: Mapping[int, np.ndarray] | None = None, *,
+               tile_bytes: int | None = None,
+               pool: ScratchPool | None = None
                ) -> tuple[CostLedger, ExecContext]:
         """Execute the compiled ops; returns (ledger, context).
 
         Bit-identical to interpreting the source plan: same memory
         state, scratch outputs, SIMD counts and WRAM tiles -- at a
         fraction of the dispatch work.
+
+        Pass ``tile_bytes`` to stream: every op replays tile-by-tile
+        through ``pool`` (a fresh :class:`ScratchPool` when None),
+        bounding peak working memory to O(tile) instead of O(payload)
+        and pricing the two-stage tile pipeline via
+        :meth:`CostLedger.pipelined` -- the memory state and host
+        outputs stay bit-identical to the untiled replay and the
+        interpreted oracle; only the modelled overlap credit differs.
         """
         ledger = self.priced(system)
         ctx = ExecContext(system=system)
+        if tile_bytes is None:
+            for op in self.ops:
+                op.execute(ctx, payloads)
+            return ledger, ctx
+        if tile_bytes <= 0:
+            raise CollectiveError(
+                f"tile_bytes must be positive, got {tile_bytes}")
+        if pool is None:
+            pool = ScratchPool()
+        depth = 1
         for op in self.ops:
-            op.execute(ctx, payloads)
-        return ledger, ctx
+            pool.release()
+            before = ctx.tiles
+            op.execute_streamed(ctx, payloads, pool, tile_bytes)
+            depth = max(depth, ctx.tiles - before)
+        ctx.peak_scratch_bytes = pool.peak_bytes
+        return ledger.pipelined(depth), ctx
 
     def describe(self) -> str:
         """Multi-line program listing for debugging and docs."""

@@ -128,18 +128,26 @@ class ReduceOp:
             raise CollectiveError(f"no identity for op {self.name!r}")
         return np.asarray(value, dtype=dtype.np_dtype)
 
-    def combine(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        """Elementwise-reduce two arrays of the same dtype."""
-        return self.ufunc(left, right)
+    def combine(self, left: np.ndarray, right: np.ndarray,
+                out: np.ndarray | None = None) -> np.ndarray:
+        """Elementwise-reduce two arrays of the same dtype.
 
-    def reduce_axis(self, stacked: np.ndarray, axis: int = 0) -> np.ndarray:
+        Pass ``out`` (may alias ``left``) to accumulate in place --
+        the allocation-free variant streamed replay folds with.
+        """
+        return self.ufunc(left, right, out=out)
+
+    def reduce_axis(self, stacked: np.ndarray, axis: int = 0,
+                    out: np.ndarray | None = None) -> np.ndarray:
         """Reduce a stacked array along ``axis``.
 
         The accumulator keeps the input dtype (fixed-width modular
         arithmetic, as the hardware would), instead of numpy's default
-        promotion of small integers to 64-bit.
+        promotion of small integers to 64-bit.  ``out`` receives the
+        result without allocating when provided.
         """
-        return self.ufunc.reduce(stacked, axis=axis, dtype=stacked.dtype)
+        return self.ufunc.reduce(stacked, axis=axis, dtype=stacked.dtype,
+                                 out=out)
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name

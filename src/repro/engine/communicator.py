@@ -54,6 +54,7 @@ from ..errors import (
     RankFailure,
     TransientFault,
 )
+from ..hw.arena import ScratchPool
 from ..hw.timing import CostLedger
 from ..reliability import FaultInjector, RELIABLE, ReliabilityPolicy
 from .cache import DEFAULT_MAXSIZE, PlanCache, bind_payloads
@@ -93,6 +94,15 @@ class Communicator:
             ``"interpreted"`` always interprets; ``"compiled"``
             demands program replay and raises if an injector (which
             only the interpreted steps consult) is attached.
+        stream_tile_bytes: Streaming scratch budget per buffer.  When
+            set, compiled replays run tile-by-tile through one
+            session-owned double-buffered
+            :class:`~repro.hw.arena.ScratchPool`: peak working memory
+            is bounded to O(tile) instead of O(payload), steady-state
+            tiles allocate nothing, and ledgers price the two-stage
+            tile pipeline (``docs/performance.md``).  None (default)
+            replays unstreamed.  Requires a compiled-capable execution
+            mode (``"auto"`` or ``"compiled"``).
     """
 
     def __init__(self, manager: HypercubeManager,
@@ -101,7 +111,8 @@ class Communicator:
                  reliability: ReliabilityPolicy | None = None,
                  fault_injector: FaultInjector | None = None,
                  backend: str | None = None,
-                 execution: str = "auto") -> None:
+                 execution: str = "auto",
+                 stream_tile_bytes: int | None = None) -> None:
         self.manager = manager
         self.config = config
         self.functional = functional
@@ -110,6 +121,19 @@ class Communicator:
                 f"unknown execution mode {execution!r}; "
                 f"known: {EXECUTION_MODES}")
         self.execution = execution
+        if stream_tile_bytes is not None:
+            if stream_tile_bytes <= 0:
+                raise CollectiveError(
+                    f"stream_tile_bytes must be positive, got "
+                    f"{stream_tile_bytes}")
+            if execution == "interpreted":
+                raise CollectiveError(
+                    "stream_tile_bytes streams compiled replays; use "
+                    "execution='auto' or 'compiled'")
+        self.stream_tile_bytes = stream_tile_bytes
+        #: Session-owned streaming scratch, reused across every call so
+        #: steady-state streamed replay performs zero heap allocations.
+        self._scratch = ScratchPool() if stream_tile_bytes else None
         if backend is not None:
             manager.system.set_backend(backend)
         self.cache = PlanCache(maxsize=cache_size)
@@ -204,22 +228,40 @@ class Communicator:
         plan, hit = self._compile(req)
         program = self._program_for(req, plan)
         if program is not None:
+            tile_bytes = self.stream_tile_bytes
             if functional:
                 raw = (_payload_bytes(req.payloads)
                        if req.payloads is not None else None)
                 start = perf_counter()
                 ledger, ctx = program.replay(self.manager.system,
-                                             payloads=raw)
-                self.stats.record_replay(perf_counter() - start)
+                                             payloads=raw,
+                                             tile_bytes=tile_bytes,
+                                             pool=self._scratch)
+                self.stats.record_replay(
+                    perf_counter() - start, tiles=ctx.tiles,
+                    peak_scratch_bytes=ctx.peak_scratch_bytes)
+                tiles = ctx.tiles
+                peak_scratch = ctx.peak_scratch_bytes
             else:
                 ledger, ctx = program.priced(self.manager.system), None
+                tiles, peak_scratch = 0, 0
+                if tile_bytes is not None:
+                    # Analytic streamed pricing: the tile plan (and so
+                    # the pipeline depth) is a pure function of the
+                    # program's shapes -- no execution needed.
+                    tiles = sum(program.tile_counts(tile_bytes))
+                    ledger = ledger.pipelined(
+                        program.pipeline_depth(tile_bytes))
             host_outputs = self._host_outputs(req, ctx)
             self.stats.record_call(req.primitive, plan, ledger, cached=hit)
             return CommResult(plan=plan, ledger=ledger,
                               host_outputs=host_outputs, cached=hit,
                               simd=ctx.simd if ctx is not None else None,
                               wram_tiles=ctx.wram_tiles if ctx is not None
-                              else 0, execution="compiled")
+                              else 0,
+                              execution=("streamed" if tile_bytes is not None
+                                         else "compiled"),
+                              tiles=tiles, peak_scratch_bytes=peak_scratch)
         bound = bind_payloads(plan, req.payloads if functional else None)
         ledger, ctx = bound.run(self.manager.system, functional=functional)
         host_outputs = self._host_outputs(req, ctx)

@@ -52,9 +52,15 @@ class CommResult:
     #: WRAM tiles moved by PE-local kernels (0 for analytic runs);
     #: also backend-invariant.
     wram_tiles: int = 0
-    #: ``"interpreted"`` (step-by-step ``apply``) or ``"compiled"``
-    #: (single-dispatch program replay); bit-identical by construction.
+    #: ``"interpreted"`` (step-by-step ``apply``), ``"compiled"``
+    #: (single-dispatch program replay), or ``"streamed"`` (tiled
+    #: replay through the scratch pool); bit-identical by construction.
     execution: str = "interpreted"
+    #: Payload tiles a streamed replay ran (0 unless streamed).
+    tiles: int = 0
+    #: Scratch-pool high-water mark of a streamed replay, in bytes
+    #: (bounded by ~2 tiles: one ping staging + one pong output view).
+    peak_scratch_bytes: int = 0
 
     @property
     def seconds(self) -> float:
@@ -79,6 +85,8 @@ class CommResult:
             parts.append("cached plan")
         if self.execution == "compiled":
             parts.append("compiled replay")
+        if self.execution == "streamed":
+            parts.append(f"streamed replay ({self.tiles} tiles)")
         if self.attempts > 1:
             parts.append(f"{self.attempts} attempts")
         if self.faults_seen:

@@ -47,6 +47,10 @@ class EngineStats:
     #: (host-process time, not modelled time -- the amortization data).
     compile_seconds: float = 0.0
     replay_seconds: float = 0.0
+    #: Payload tiles replayed by streamed executions across the session.
+    tiles_replayed: int = 0
+    #: High-water mark of streaming scratch-pool bytes across replays.
+    peak_scratch_bytes: int = 0
     batches: int = 0
     waves: int = 0
     bytes_moved: int = 0
@@ -104,10 +108,18 @@ class EngineStats:
         self.programs_compiled += 1
         self.compile_seconds += seconds
 
-    def record_replay(self, seconds: float) -> None:
-        """Account one compiled-program replay (wall-clock)."""
+    def record_replay(self, seconds: float, *, tiles: int = 0,
+                      peak_scratch_bytes: int = 0) -> None:
+        """Account one compiled-program replay (wall-clock).
+
+        Streamed replays also report their tile count and the scratch
+        pool's high-water mark; both stay zero for untiled replays.
+        """
         self.program_replays += 1
         self.replay_seconds += seconds
+        self.tiles_replayed += tiles
+        if peak_scratch_bytes > self.peak_scratch_bytes:
+            self.peak_scratch_bytes = peak_scratch_bytes
 
     def record_fault(self, kind: str) -> None:
         """Account one observed fault (by kind, e.g. ``"bit_flip"``)."""
@@ -141,6 +153,8 @@ class EngineStats:
             "program_replays": self.program_replays,
             "compile_seconds": self.compile_seconds,
             "replay_seconds": self.replay_seconds,
+            "tiles_replayed": self.tiles_replayed,
+            "peak_scratch_bytes": self.peak_scratch_bytes,
             "batches": self.batches,
             "waves": self.waves,
             "bytes_moved": self.bytes_moved,
@@ -176,6 +190,10 @@ class EngineStats:
             lines.append(f"    replays         {self.program_replays} "
                          f"({self.replay_seconds * 1e3:.3f} ms)")
             lines.append(f"    evictions       {self.plan_evictions}")
+            if self.tiles_replayed:
+                lines.append(f"    tiles replayed  {self.tiles_replayed}")
+                lines.append(f"    peak scratch    "
+                             f"{self.peak_scratch_bytes} B")
         if self.per_primitive_calls:
             lines.append("  per primitive:")
             for name in sorted(self.per_primitive_calls):

@@ -46,6 +46,34 @@ def flat_chunk_table(lane_table: np.ndarray, slot_table: np.ndarray,
     return flat
 
 
+def wide_dtype(nbytes: int) -> np.dtype:
+    """The widest native dtype viewing ``nbytes``-wide chunks (void else)."""
+    return _WIDE_DTYPES.get(nbytes, np.dtype((np.void, nbytes)))
+
+
+def take_band_staged(grouped: np.ndarray, flat_table: np.ndarray,
+                     r0: int, r1: int, out: np.ndarray) -> None:
+    """Gather output rows ``[r0, r1)`` from a staged grouped source.
+
+    The scalar-backend band kernel of streamed replay: ``grouped`` is
+    the full staged source viewed as ``(ngroups, lanes * nslots)`` wide
+    chunk elements, ``flat_table`` the per-group ``(lanes, nslots_out)``
+    flat chunk table, and ``out`` a preallocated ``(r1 - r0,
+    nslots_out)`` band of the same wide dtype.  Output row ``r`` lives
+    in group ``r // lanes`` at lane ``r % lanes``; bands that straddle
+    a group boundary split into one ``np.take`` per group touched.
+    Never allocates.
+    """
+    lanes = flat_table.shape[0]
+    pos = r0
+    while pos < r1:
+        group, l0 = divmod(pos, lanes)
+        l1 = min(lanes, l0 + (r1 - pos))
+        np.take(grouped[group], flat_table[l0:l1],
+                out=out[pos - r0:pos - r0 + (l1 - l0)])
+        pos += l1 - l0
+
+
 def take_chunks_by_table(grouped: np.ndarray, lane_table: np.ndarray,
                          slot_table: np.ndarray,
                          flat_table: np.ndarray | None = None) -> np.ndarray:
@@ -111,6 +139,11 @@ class MemoryArena:
         # touched is one vectorized store, not a Python set update per
         # id (the touched set sat on the hot path of every transfer).
         self._touched = np.zeros(max_rows, dtype=bool)
+        #: Bumped on every backing-array reallocation; streamed replay
+        #: keys its cached flat gather tables on this, so a growth (or
+        #: re-base) invalidates them instead of leaving stale rows.
+        self.version = 0
+        self._flat_views: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Row accounting
@@ -156,6 +189,8 @@ class MemoryArena:
             fresh[at:at + nrows] = self._data
         self._base = new_base
         self._data = fresh
+        self.version += 1
+        self._flat_views = {}
 
     def _rows(self, ids: np.ndarray) -> np.ndarray:
         return ids - self._base
@@ -200,6 +235,72 @@ class MemoryArena:
         if step > 0 and bool((steps == step).all()):
             return span[rows[0]:rows[-1] + 1:step]
         return None
+
+    # ------------------------------------------------------------------
+    # Streamed-replay flat gathers
+    # ------------------------------------------------------------------
+    def stream_width(self, offset: int, chunk_bytes: int) -> int:
+        """Element width for flat arena-global gathers at this layout.
+
+        The whole chunk when every chunk lands on a chunk-multiple of
+        the flattened backing array (``mram_bytes`` and ``offset`` both
+        chunk-aligned); otherwise the widest native element (8/4/2/1
+        bytes) that divides all three, so the flat index still
+        addresses every chunk exactly.
+        """
+        if self.mram_bytes % chunk_bytes == 0 and offset % chunk_bytes == 0:
+            return chunk_bytes
+        width = 8
+        while chunk_bytes % width or offset % width or self.mram_bytes % width:
+            width //= 2
+        return width
+
+    def stream_table(self, pe_ids, ngroups: int, offset: int,
+                     chunk_bytes: int, lane_table: np.ndarray,
+                     slot_table: np.ndarray) -> tuple[np.ndarray, int]:
+        """Arena-global flat gather table for row-band streamed replay.
+
+        Lifts a per-group ``(lanes, nslots_out)`` (lane, slot) table
+        pair into element indices over the whole backing array viewed
+        as :meth:`flat_wide` elements: row ``r = g * lanes + l`` of the
+        returned ``(len(pe_ids), nslots_out * chunk_bytes // width)``
+        table holds the source elements of output row ``r``, so a band
+        of output rows gathers with one ``np.take(..., out=)`` straight
+        from the strided source -- no staging copy, and total index
+        work independent of the band count.  Returns ``(table,
+        width)``; the table is only valid until the arena reallocates
+        (key caches on :attr:`version`).
+        """
+        width = self.stream_width(offset, chunk_bytes)
+        ids = self.touch(pe_ids)
+        lanes = ids.size // ngroups
+        per = chunk_bytes // width
+        src_rows = self._rows(ids).reshape(ngroups, lanes)[:, lane_table]
+        table = (src_rows * (self.mram_bytes // width)
+                 + slot_table * per + offset // width)
+        if per > 1:
+            table = table[..., None] + np.arange(per, dtype=np.intp)
+        table = np.ascontiguousarray(table.reshape(ids.size, -1),
+                                     dtype=np.intp)
+        table.setflags(write=False)
+        return table, width
+
+    def flat_wide(self, width: int) -> np.ndarray:
+        """The whole backing array as one flat run of wide elements.
+
+        Cached per width and rebuilt after growth, so steady-state
+        band gathers create no new array objects.
+        """
+        view = self._flat_views.get(width)
+        if view is None:
+            view = self._data.reshape(-1).view(wide_dtype(width))
+            self._flat_views[width] = view
+        return view
+
+    def take_band(self, table: np.ndarray, width: int, r0: int, r1: int,
+                  out: np.ndarray) -> None:
+        """Gather one row band of a :meth:`stream_table` into ``out``."""
+        np.take(self.flat_wide(width), table[r0:r1], out=out)
 
     # ------------------------------------------------------------------
     # Bulk transfers
@@ -273,3 +374,80 @@ class MemoryArena:
         return (f"MemoryArena({self._data.shape[0]} rows @ base "
                 f"{self._base}, {self.touched_count} touched, "
                 f"{self.mram_bytes}B each)")
+
+
+class ScratchPool:
+    """Double-buffered streaming scratch: reusable ping/pong tile buffers.
+
+    Streamed replay (``CommProgram.replay(..., tile_bytes=...)``) moves
+    every payload through bounded reusable buffers: **pong** receives
+    each gathered output band, **fold** holds the band's reduce
+    accumulator, and **ping** stages the full source block on the
+    scalar backend (the vectorized backend gathers straight from the
+    arena and never touches ping).  Buffers grow geometrically on
+    demand and are then reused for every band of every op of every
+    replay, so the steady state performs zero heap allocations and --
+    on the vectorized backend -- peak working memory is O(tile), not
+    O(payload).
+
+    ``peak_bytes`` records the high-water mark of simultaneously
+    requested view bytes; on the vectorized backend that is at most
+    two tiles (pong + the fold sliver), which the streaming benchmark
+    gates on (``benchmarks/bench_stream.py``).
+    """
+
+    #: buffer roles, in index order.
+    ROLES = ("ping", "pong", "fold")
+
+    def __init__(self) -> None:
+        self._bufs = [np.empty(0, dtype=np.uint8) for _ in self.ROLES]
+        self._live = [0] * len(self.ROLES)
+        self.peak_bytes = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total bytes currently backing all buffers."""
+        return sum(buf.nbytes for buf in self._bufs)
+
+    def _view(self, index: int, shape: tuple[int, ...],
+              dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        nbytes = count * dt.itemsize
+        buf = self._bufs[index]
+        if buf.nbytes < nbytes:
+            # Geometric growth: repeated replays with slightly varying
+            # tile shapes converge on O(1) reallocations.
+            buf = np.empty(max(nbytes, 2 * buf.nbytes), dtype=np.uint8)
+            self._bufs[index] = buf
+        self._live[index] = nbytes
+        live = sum(self._live)
+        if live > self.peak_bytes:
+            self.peak_bytes = live
+        return buf[:nbytes].view(dt).reshape(shape)
+
+    def ping(self, shape: tuple[int, ...], dtype=np.uint8) -> np.ndarray:
+        """Staging view for the scalar backend's source block."""
+        return self._view(0, shape, dtype)
+
+    def pong(self, shape: tuple[int, ...], dtype=np.uint8) -> np.ndarray:
+        """Output view for one gathered/fanned row band."""
+        return self._view(1, shape, dtype)
+
+    def fold(self, shape: tuple[int, ...], dtype=np.uint8) -> np.ndarray:
+        """Accumulator view for one reduce-fold band (chunk-sized rows)."""
+        return self._view(2, shape, dtype)
+
+    def release(self) -> None:
+        """Mark all views dead for peak accounting (buffers are kept)."""
+        self._live = [0] * len(self.ROLES)
+
+    def reset_peak(self) -> None:
+        """Restart the high-water mark (e.g. per engine session)."""
+        self.peak_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ScratchPool({self.capacity_bytes}B capacity, "
+                f"peak {self.peak_bytes}B)")

@@ -26,6 +26,33 @@ from .timing import MachineParams
 _INSTR_PER_ELEMENT = 4
 
 
+def fold_slots(values: np.ndarray, op: ReduceOp,
+               out: np.ndarray | None = None) -> np.ndarray:
+    """Fold the slot axis of a ``(..., nslots, elems)`` value block.
+
+    The shared reduce kernel of compiled replay: integer dtypes fold
+    with one ``ufunc.reduce`` (fixed-width modular arithmetic is
+    order-independent, so any fold order is bit-exact); floats keep the
+    explicit left fold whose evaluation order matches the interpreted
+    backends, so floating-point results stay bit-identical to the
+    scalar oracle.  Pass ``out`` (shaped like ``values`` without the
+    slot axis) to accumulate into preallocated scratch -- the ``out=``
+    variant streamed replay uses so steady-state tiles allocate
+    nothing.  ``out`` must not alias ``values``.
+    """
+    if values.dtype.kind in "iub":
+        return op.reduce_axis(values, axis=-2, out=out)
+    nslots = values.shape[-2]
+    if out is None:
+        acc = values[..., 0, :].copy()
+    else:
+        acc = out
+        np.copyto(acc, values[..., 0, :])
+    for s in range(1, nslots):
+        acc = op.combine(acc, values[..., s, :], out=acc)
+    return acc
+
+
 @dataclass
 class KernelStats:
     """Execution counters of one kernel run on one PE."""

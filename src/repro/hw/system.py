@@ -416,6 +416,58 @@ class DimmSystem:
         for row, pe in zip(matrix, pe_ids):
             self.memory(int(pe)).write(offset, row)
 
+    def stream_token(self):
+        """Cache token for streamed-replay gather tables, or None.
+
+        The vectorized backend returns ``(arena identity, arena
+        version)``: a table built against that state stays valid until
+        the backing array reallocates.  The scalar backend returns
+        None -- it has no flat address space, so streamed replay takes
+        its staged-source path instead.
+        """
+        if not self.vectorized:
+            return None
+        arena = self._ensure_arena()
+        return id(arena), arena.version
+
+    def stream_table(self, pe_ids: Sequence[int], ngroups: int,
+                     src_offset: int, chunk_bytes: int,
+                     lane_table: np.ndarray, slot_table: np.ndarray
+                     ) -> tuple[np.ndarray, int]:
+        """Arena-global flat gather table for row-band streamed replay.
+
+        See :meth:`~repro.hw.arena.MemoryArena.stream_table`; only
+        meaningful on the vectorized backend (callers check
+        :meth:`stream_token` first).
+        """
+        return self._ensure_arena().stream_table(
+            self._lane_ids(pe_ids), ngroups, src_offset, chunk_bytes,
+            lane_table, slot_table)
+
+    def take_band_flat(self, table: np.ndarray, width: int, r0: int,
+                       r1: int, out: np.ndarray) -> None:
+        """Gather output rows ``[r0, r1)`` straight from the arena.
+
+        One ``np.take(..., out=)`` of wide elements through a
+        pre-built :meth:`stream_table` -- the vectorized band kernel of
+        streamed replay: no staging copy, no allocation, and total
+        index work independent of the band count.
+        """
+        self._ensure_arena().take_band(table, width, r0, r1, out)
+
+    def stage_rows(self, pe_ids: Sequence[int], src_offset: int,
+                   nbytes: int, stage: np.ndarray) -> None:
+        """Copy ``nbytes`` at ``src_offset`` from each PE into ``stage``.
+
+        The scalar backend's streamed-replay staging: one per-PE copy
+        loop into a preallocated scratch-pool block (the oracle path;
+        the vectorized backend skips staging entirely).
+        """
+        ids = self._lane_ids(pe_ids)
+        for i, pe in enumerate(ids):
+            np.copyto(stage[i], self.memory(int(pe)).view(src_offset,
+                                                          nbytes))
+
     def take_rows(self, pe_ids: Sequence[int], offset: int,
                   nbytes: int) -> np.ndarray:
         """Injector-free lane-matrix read (compiled host-pull kernel)."""

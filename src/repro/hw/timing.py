@@ -62,6 +62,15 @@ COMM_CATEGORIES = (
 #: cores and therefore serialize.
 OVERLAPPABLE_CATEGORIES = ("bus", "pe", "launch")
 
+#: Two-stage split used by streamed-replay pipelining: the PE-resident
+#: stage of a collective (on-DIMM reorder kernels) and the
+#: host-resident stage (bus transfer plus the host's transpose /
+#: modulation / reduce passes).  When a payload streams tile-by-tile,
+#: tile *i*'s host stage drains while tile *i+1*'s PE stage runs --
+#: the bulk-transfer pipelining the paper's host runtime relies on.
+STREAM_PE_STAGE = ("pe",)
+STREAM_HOST_STAGE = ("bus", "dt", "host_mem", "host_mod", "host_reduce")
+
 MOD_CLASSES = ("scalar", "local", "simd", "shuffle")
 
 
@@ -230,6 +239,34 @@ class CostLedger:
             else:
                 merged.add(category, sum(values))
         return merged
+
+    def pipelined(self, depth: int,
+                  pe_stage: "Sequence[str]" = STREAM_PE_STAGE,
+                  host_stage: "Sequence[str]" = STREAM_HOST_STAGE
+                  ) -> "CostLedger":
+        """Cost under a two-stage software pipeline over ``depth`` tiles.
+
+        Streamed replay splits the payload into ``depth`` equal tiles
+        and overlaps the PE stage of tile *i+1* with the host stage of
+        tile *i*.  In a two-stage pipeline only the shorter stage's
+        pipeline-fill tile stays exposed: with per-tile stage times
+        ``P/depth`` and ``H/depth`` the makespan is ``max(P, H) +
+        min(P, H) / depth``, so the shorter stage's categories scale by
+        ``1/depth`` while the longer stage (and every fixed category:
+        launch, kernel, cpu, mpi, retry) is charged in full.  ``depth
+        <= 1`` returns an unchanged copy, so unstreamed pricing is the
+        degenerate case.
+        """
+        out = self.copy()
+        if depth <= 1:
+            return out
+        pe_total = sum(self.seconds.get(c, 0.0) for c in pe_stage)
+        host_total = sum(self.seconds.get(c, 0.0) for c in host_stage)
+        hidden = pe_stage if pe_total <= host_total else host_stage
+        for category in hidden:
+            if category in out.seconds:
+                out.seconds[category] /= depth
+        return out
 
     def scaled(self, factor: float) -> "CostLedger":
         """Return a copy with every category multiplied by ``factor``."""

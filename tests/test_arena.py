@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AllocationError, TransferError
-from repro.hw.arena import MemoryArena
+from repro.hw.arena import MemoryArena, wide_dtype
 from repro.hw.memory import ArenaPeMemory
 
 
@@ -100,6 +100,48 @@ class TestGrowth:
         with pytest.raises(AllocationError):
             arena.touch((-1,))
 
+    def test_growth_exactly_at_capacity_boundary(self):
+        # Touching the last covered row is a no-op; touching the first
+        # row past it (hi == base + nrows) must grow, not wrap or skip.
+        arena = MemoryArena(mram_bytes=8, max_rows=64)
+        arena.touch(range(4))
+        _stamp(arena, 3, 42)
+        nrows = arena._data.shape[0]
+        version = arena.version
+        arena.touch((nrows - 1,))           # inside: no reallocation
+        assert arena.version == version
+        arena.touch((nrows,))               # one past: must reallocate
+        assert arena.version == version + 1
+        assert arena._data.shape[0] > nrows
+        assert (arena.row_view(3) == 42).all()
+
+    def test_non_contiguous_touch_order(self):
+        # Jumping around (up, down, between) re-bases and grows in a
+        # data-preserving way regardless of touch order.
+        arena = MemoryArena(mram_bytes=8, max_rows=256)
+        for pe, value in ((40, 4), (200, 20), (7, 7), (100, 10)):
+            _stamp(arena, pe, value)
+        for pe, value in ((40, 4), (200, 20), (7, 7), (100, 10)):
+            assert (arena.row_view(pe) == value).all()
+        assert arena.touched_ids() == [7, 40, 100, 200]
+        # Rows covered by the backing array but never touched stay zero.
+        assert (arena.read_rows([50], 0, 8) == 0).all()
+
+    def test_views_invalidated_after_growth(self):
+        # A growth reallocates the backing array: cached flat views are
+        # dropped (fresh object, fresh bytes) and accessor views are
+        # re-derived rather than aliasing the dead array.
+        arena = MemoryArena(mram_bytes=8, max_rows=1024)
+        _stamp(arena, 0, 5)
+        stale = arena.lane_view([0], 0, 8)
+        flat = arena.flat_wide(8)
+        version = arena.version
+        arena.touch((1000,))                # forces reallocation
+        assert arena.version > version
+        assert arena.flat_wide(8) is not flat
+        assert not np.shares_memory(arena.lane_view([0], 0, 8), stale)
+        assert (arena.row_view(0) == 5).all()
+
     def test_fill_rows_broadcasts(self):
         arena = MemoryArena(mram_bytes=16, max_rows=32)
         buf = np.arange(4, dtype=np.uint8)
@@ -129,6 +171,57 @@ class TestBounds:
             MemoryArena(mram_bytes=0, max_rows=4)
         with pytest.raises(AllocationError):
             MemoryArena(mram_bytes=8, max_rows=0)
+
+
+class TestStreamTables:
+    """Arena-global flat gather tables used by streamed replay."""
+
+    def test_stream_width_prefers_whole_chunks(self):
+        arena = MemoryArena(mram_bytes=64, max_rows=8)
+        assert arena.stream_width(offset=0, chunk_bytes=8) == 8
+        assert arena.stream_width(offset=16, chunk_bytes=16) == 16
+        # Unaligned offset: fall back to the widest native element
+        # dividing chunk, offset and mram_bytes alike.
+        assert arena.stream_width(offset=4, chunk_bytes=8) == 4
+        assert arena.stream_width(offset=0, chunk_bytes=6) == 2
+
+    def test_take_band_matches_table_semantics(self):
+        # out[r, s] = in[lane[r, s], slot[r, s]] over whole rows and
+        # over a sub-band, gathered straight from the backing array.
+        arena = MemoryArena(mram_bytes=16, max_rows=8)
+        data = np.arange(32, dtype=np.uint8).reshape(2, 16)
+        arena.write_rows([0, 1], 0, data)
+        lane = np.array([[1, 1], [0, 0]])
+        slot = np.array([[0, 1], [0, 1]])
+        table, width = arena.stream_table([0, 1], 1, 0, 8, lane, slot)
+        assert width == 8
+        out = np.empty((2, table.shape[1]), dtype=wide_dtype(width))
+        arena.take_band(table, width, 0, 2, out)
+        np.testing.assert_array_equal(out.view(np.uint8), data[[1, 0]])
+        band = np.empty((1, table.shape[1]), dtype=wide_dtype(width))
+        arena.take_band(table, width, 1, 2, band)
+        np.testing.assert_array_equal(band.view(np.uint8), data[[0]])
+
+    def test_tables_are_read_only(self):
+        arena = MemoryArena(mram_bytes=16, max_rows=8)
+        lane = np.array([[0], [1]])
+        slot = np.array([[0], [0]])
+        table, _ = arena.stream_table([0, 1], 1, 0, 8, lane, slot)
+        with pytest.raises(ValueError):
+            table[0, 0] = 0
+
+    def test_rebase_invalidates_cached_tables(self):
+        # A table built before a downward re-base addresses the wrong
+        # rows afterwards; the version token is how callers notice.
+        arena = MemoryArena(mram_bytes=16, max_rows=64)
+        lane = np.array([[0], [1]])
+        slot = np.array([[0], [0]])
+        before, _ = arena.stream_table([8, 9], 1, 0, 16, lane, slot)
+        version = arena.version
+        arena.touch((0,))                   # re-base: rows shift
+        assert arena.version > version
+        after, _ = arena.stream_table([8, 9], 1, 0, 16, lane, slot)
+        assert not np.array_equal(before, after)
 
 
 class TestArenaPeMemory:

@@ -53,16 +53,19 @@ def _random_case(rng: np.random.Generator) -> dict:
 
 def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
              dtype, chunk: int, config, injector=None,
-             backend: str = "scalar", execution: str = "auto"):
+             backend: str = "scalar", execution: str = "auto",
+             tile: int | None = None):
     """One randomized collective, checked bit-exactly against reference.
 
     Returns the engine's CommResult (so fault sweeps can inspect
-    ``attempts``).
+    ``attempts``).  ``tile`` streams compiled replays through
+    ``stream_tile_bytes``-sized scratch bands.
     """
     manager = make_manager(shape)
     system = manager.system
     comm = Communicator(manager, config=config, fault_injector=injector,
-                        backend=backend, execution=execution)
+                        backend=backend, execution=execution,
+                        stream_tile_bytes=tile)
     bitmap = _random_bitmap(rng, manager.ndim)
     groups = groups_of(manager, bitmap)
     n = groups[0].size
@@ -133,14 +136,15 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
 
 
 def _sweep(seed: int, cases: int, injector_factory=None,
-           backend: str = "scalar", execution: str = "auto") -> list:
+           backend: str = "scalar", execution: str = "auto",
+           tile: int | None = None) -> list:
     rng = np.random.default_rng(seed)
     results = []
     for _ in range(cases):
         case = _random_case(rng)
         injector = injector_factory() if injector_factory else None
         results.append(run_case(rng, injector=injector, backend=backend,
-                                execution=execution, **case))
+                                execution=execution, tile=tile, **case))
     return results
 
 
@@ -164,6 +168,32 @@ class TestHealthySweep:
         a = [r.plan.primitive for r in _sweep(seed=11, cases=8)]
         b = [r.plan.primitive for r in _sweep(seed=11, cases=8)]
         assert a == b
+
+
+class TestStreamedSweep:
+    """Streamed tiled replay must stay inside the same oracle."""
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_random_cases_match_reference(self, backend):
+        # An uneven 33-byte budget forces short bands, band clamping,
+        # and last-band remainders across random shapes and chunks.
+        results = _sweep(seed=909, cases=24, backend=backend,
+                         execution="compiled", tile=33)
+        assert all(r.execution == "streamed" for r in results)
+
+    @pytest.mark.parametrize("tile", [33, 257, 1 << 20],
+                             ids=lambda t: f"tile{t}")
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_every_primitive_uneven_tiles(self, backend, tile):
+        # Tile sizes that do not divide any row or payload evenly
+        # (33, 257) plus one larger than every payload (single band).
+        rng = np.random.default_rng(5)
+        for primitive in PRIMITIVES:
+            result = run_case(rng, primitive, (4, 8), INT64, 2, FULL,
+                              backend=backend, execution="compiled",
+                              tile=tile)
+            assert result.execution == "streamed"
+            assert result.tiles >= 1
 
 
 class TestFaultedSweep:
