@@ -28,7 +28,8 @@ import time
 
 import numpy as np
 
-from repro import Communicator, DimmGeometry, DimmSystem, HypercubeManager
+from repro import (Communicator, DimmGeometry, DimmSystem, HypercubeManager,
+                   SessionConfig)
 from repro.core.groups import slice_groups
 from repro.dtypes import INT64, SUM
 
@@ -55,7 +56,7 @@ def setup(npes, backend, execution):
     system = DimmSystem(GEOMETRIES[npes], mram_bytes=MRAM_BYTES,
                         backend=backend)
     manager = HypercubeManager(system, shape=(npes,))
-    comm = Communicator(manager, execution=execution)
+    comm = Communicator(manager, SessionConfig(execution=execution))
     pe_ids = slice_groups(manager, "1")[0].pe_ids
     return system, comm, pe_ids
 

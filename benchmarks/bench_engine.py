@@ -15,6 +15,7 @@ from repro import (
     CommRequest,
     Communicator,
     HypercubeManager,
+    SessionConfig,
     pidcomm_allreduce,
     pidcomm_alltoall,
 )
@@ -72,7 +73,7 @@ def test_analytic_cached_estimation_speed(benchmark):
     """Cache-hit analytic pricing vs. test_analytic_plan_estimation_speed."""
     system = DimmSystem.paper_testbed()
     manager = HypercubeManager(system, shape=(32, 32))
-    comm = Communicator(manager, functional=False)
+    comm = Communicator(manager, SessionConfig(functional=False))
     comm.allreduce("10", 8 << 20)  # warm the cache
 
     benchmark(comm.allreduce, "10", 8 << 20)
@@ -82,7 +83,7 @@ def test_batch_submit_speed(benchmark):
     """Dispatch overhead of a 4-request independent batch."""
     manager, total, src, dst = _setup()
     system = manager.system
-    comm = Communicator(manager, functional=False)
+    comm = Communicator(manager, SessionConfig(functional=False))
     offsets = [(system.alloc(total), system.alloc(total)) for _ in range(4)]
     requests = [CommRequest("alltoall", "10", total, src_offset=a,
                             dst_offset=b) for a, b in offsets]

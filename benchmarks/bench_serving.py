@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Benchmark multi-tenant serving vs. serialized per-tenant submission.
+
+Replays the load generator's application mixes (DLRM bursts, GNN
+epochs, BFS frontiers) for 8 concurrent tenants through a
+:class:`~repro.serving.CollectiveServer` and compares modelled goodput
+against the serialized baseline: the *identical* request stream
+submitted one request at a time through a solo session (no cross-tenant
+batching, so every request is priced alone).  The server drains
+fair-share batches into the engine's hazard-wave ``submit()``, whose
+overlap-aware pricing merges the tenants' data-independent requests --
+that concurrency is the whole speedup; per-request results stay
+bit-identical.
+
+Before timing, serving parity is checked: all eight collectives run
+functionally through the server and through a solo Communicator on
+both backends, and outputs, MRAM images, and ledger totals must match
+exactly -- the front-end may never change answers.
+
+The script exits non-zero if any parity check fails or if the headline
+goodput ratio falls below the threshold (>= 2x for both the full
+1024-PE run and ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py   # full gate
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+
+import numpy as np
+
+from repro import (
+    CollectiveServer,
+    CommRequest,
+    Communicator,
+    DimmGeometry,
+    DimmSystem,
+    HypercubeManager,
+    SessionConfig,
+)
+from repro.serving import LoadGenerator, TenantLoad
+
+GEOMETRIES = {
+    32: DimmGeometry(2, 1, 4, 4),
+    256: DimmGeometry(2, 2, 8, 8),
+    1024: DimmGeometry(4, 4, 8, 8),
+}
+
+#: mode -> gate workload: 8 tenants cycling through the three mixes.
+MODES = {
+    "full": {"npes": 1024, "shape": (32, 32), "dims": "10",
+             "mram": 64 << 20, "rounds": 6, "threshold": 2.0},
+    "smoke": {"npes": 256, "shape": (16, 16), "dims": "10",
+              "mram": 8 << 20, "rounds": 3, "threshold": 2.0},
+}
+
+TENANTS = 8
+MIX_CYCLE = ("dlrm_burst", "gnn_epoch", "bfs_frontier")
+
+#: parity workload (functional, so kept small).
+PARITY = {"npes": 32, "shape": (8, 4), "dims": "10", "mram": 1 << 16,
+          "size": 256}
+
+
+def build_manager(spec, backend="scalar"):
+    """Fresh system + manager for one run."""
+    system = DimmSystem(GEOMETRIES[spec["npes"]], mram_bytes=spec["mram"],
+                        backend=backend)
+    return HypercubeManager(system, shape=spec["shape"])
+
+
+def parity_requests(instances):
+    """One request per primitive, covering payload and rooted paths."""
+    size = PARITY["size"]
+    elems = size // 8
+    group = 8
+    return [
+        CommRequest("alltoall", PARITY["dims"], size, dst_offset=8192),
+        CommRequest("allgather", PARITY["dims"], size, dst_offset=16384),
+        CommRequest("reduce_scatter", PARITY["dims"], size, dst_offset=8192),
+        CommRequest("allreduce", PARITY["dims"], size, src_offset=4096,
+                    dst_offset=8192),
+        CommRequest("gather", PARITY["dims"], size, src_offset=4096),
+        CommRequest("reduce", PARITY["dims"], size, src_offset=20480),
+        CommRequest("scatter", PARITY["dims"], size, dst_offset=24576,
+                    payloads={i: np.arange(group * elems, dtype=np.int64) + i
+                              for i in range(instances)}),
+        CommRequest("broadcast", PARITY["dims"], size, dst_offset=28672,
+                    payloads={i: np.arange(elems, dtype=np.int64) - i
+                              for i in range(instances)}),
+    ]
+
+
+def seeded_manager(backend):
+    """Parity manager with deterministic per-PE inputs."""
+    from repro.dtypes import INT64
+
+    manager = build_manager(PARITY, backend)
+    values = np.arange(PARITY["size"] // 8, dtype=np.int64)
+    for pe in manager.all_pes:
+        for offset in (0, 4096, 20480):
+            manager.system.write_elements(pe, offset, values + pe, INT64)
+    return manager
+
+
+def check_parity(backend):
+    """Server vs. solo session: identical answers, or SystemExit."""
+    solo_manager = seeded_manager(backend)
+    served_manager = seeded_manager(backend)
+    instances = len(solo_manager.all_pes) // 8
+    config = SessionConfig(backend=backend)
+
+    solo = Communicator(solo_manager, config)
+    solo_results = [solo.submit([req]).futures[0].result()
+                    for req in parity_requests(instances)]
+
+    async def serve():
+        server = CollectiveServer(served_manager, config)
+        session = server.session("tenant")
+        futures = [session.submit(req)
+                   for req in parity_requests(instances)]
+        await server.drain()
+        return [await f for f in futures]
+
+    served_results = asyncio.run(serve())
+    for solo_res, served_res in zip(solo_results, served_results):
+        name = solo_res.plan.primitive
+        if served_res.ledger.total != solo_res.ledger.total:
+            raise SystemExit(f"PARITY FAIL [{backend}]: {name} served "
+                             f"ledger differs from solo")
+        solo_out = solo_res.host_outputs or {}
+        served_out = served_res.host_outputs or {}
+        for inst, expected in solo_out.items():
+            if not np.array_equal(served_out[inst], expected):
+                raise SystemExit(f"PARITY FAIL [{backend}]: {name} host "
+                                 f"outputs diverge (instance {inst})")
+    for pe in solo_manager.all_pes:
+        solo_mem = solo_manager.system.memory(pe).read(0, PARITY["mram"])
+        served_mem = served_manager.system.memory(pe).read(0, PARITY["mram"])
+        if not np.array_equal(solo_mem, served_mem):
+            raise SystemExit(f"PARITY FAIL [{backend}]: MRAM image of PE "
+                             f"{pe} diverges after the request stream")
+
+
+def tenant_loads():
+    """The 8 concurrent tenants, mixes cycling, one heavier tenant."""
+    return [TenantLoad(f"tenant-{i}", MIX_CYCLE[i % len(MIX_CYCLE)],
+                       weight=2.0 if i == 0 else 1.0)
+            for i in range(TENANTS)]
+
+
+def run_served(spec, seed):
+    """Run the mixes through the server; returns the loadgen report."""
+
+    async def scenario():
+        server = CollectiveServer(build_manager(spec),
+                                  SessionConfig(functional=False),
+                                  max_queue_depth=512,
+                                  batch_limit=2 * TENANTS)
+        gen = LoadGenerator(server, tenant_loads(), dims=spec["dims"],
+                            seed=seed)
+        return await gen.run(rounds=spec["rounds"])
+
+    return asyncio.run(scenario())
+
+
+def run_serialized(spec, seed):
+    """The identical request stream, one request at a time, solo.
+
+    Returns (modelled seconds, completed payload bytes).
+    """
+    from repro.engine.stats import plan_payload_bytes
+
+    async def collect():
+        server = CollectiveServer(build_manager(spec),
+                                  SessionConfig(functional=False))
+        gen = LoadGenerator(server, tenant_loads(), dims=spec["dims"],
+                            seed=seed)
+        return [request for round_idx in range(spec["rounds"])
+                for _, request in gen.round_requests(round_idx)]
+
+    requests = asyncio.run(collect())
+    comm = Communicator(build_manager(spec), SessionConfig(functional=False))
+    seconds = 0.0
+    payload = 0
+    for request in requests:
+        result = comm.submit([request]).futures[0].result()
+        seconds += result.seconds
+        payload += plan_payload_bytes(result.plan)
+    return seconds, payload
+
+
+def main(argv=None):
+    """Parse args, check parity, run the gate, write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI (256 PEs, 3 rounds)")
+    parser.add_argument("--seed", type=int, default=20240408)
+    parser.add_argument("--out", default="BENCH_serving.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    spec = MODES[mode]
+
+    for backend in ("scalar", "vectorized"):
+        print(f"[parity] server vs solo session, all 8 collectives, "
+              f"{backend} backend ...", flush=True)
+        check_parity(backend)
+
+    print(f"[gate] {TENANTS} tenants x {spec['rounds']} rounds on "
+          f"{spec['npes']} PEs ...", flush=True)
+    report = run_served(spec, args.seed)
+    serial_seconds, serial_payload = run_serialized(spec, args.seed)
+
+    served_payload = sum(t["bytes_completed"]
+                         for t in report["tenants"].values())
+    if served_payload != serial_payload:
+        raise SystemExit(
+            f"GATE FAIL: served stream moved {served_payload} B but the "
+            f"serialized baseline moved {serial_payload} B -- the two "
+            "runs are not comparable")
+    served_goodput = report["goodput_bytes_per_second"]
+    serial_goodput = serial_payload / serial_seconds
+    ratio = served_goodput / serial_goodput
+    p99_ms = max(t["p99_ms"] for t in report["tenants"].values())
+
+    print(f"[gate] serialized {serial_seconds * 1e3:.3f} ms modelled, "
+          f"served {report['clock_seconds'] * 1e3:.3f} ms modelled "
+          f"({ratio:.2f}x goodput, worst-tenant p99 {p99_ms:.3f} ms)",
+          flush=True)
+
+    out = {
+        "mode": mode,
+        "workload": {
+            "tenants": TENANTS,
+            "mixes": {load.tenant_id: load.mix for load in tenant_loads()},
+            "rounds": spec["rounds"],
+            "npes": spec["npes"],
+            "dims": spec["dims"],
+            "seed": args.seed,
+            "payload_bytes": served_payload,
+        },
+        "parity": "all 8 collectives server vs solo, scalar + vectorized: "
+                  "ledger totals, host outputs, MRAM images bit-identical",
+        "serialized": {"modelled_seconds": serial_seconds,
+                       "goodput_bytes_per_second": serial_goodput},
+        "served": {"modelled_seconds": report["clock_seconds"],
+                   "goodput_bytes_per_second": served_goodput,
+                   "batches": report["batches"],
+                   "admission": report["admission"],
+                   "tenants": report["tenants"]},
+        "headline": {"goodput_ratio": ratio,
+                     "threshold": spec["threshold"],
+                     "worst_tenant_p99_ms": p99_ms},
+    }
+    with open(args.out, "w") as handle:
+        json.dump(out, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if ratio < spec["threshold"]:
+        print(f"REGRESSION: served goodput {ratio:.2f}x < "
+              f"{spec['threshold']:.1f}x serialized", file=sys.stderr)
+        return 1
+    print(f"OK: multi-tenant serving {ratio:.2f}x >= "
+          f"{spec['threshold']:.1f}x serialized goodput "
+          f"(worst p99 {p99_ms:.3f} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

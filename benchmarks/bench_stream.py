@@ -35,7 +35,8 @@ import time
 
 import numpy as np
 
-from repro import Communicator, DimmGeometry, DimmSystem, HypercubeManager
+from repro import (Communicator, DimmGeometry, DimmSystem, HypercubeManager,
+                   SessionConfig)
 from repro.core.groups import slice_groups
 from repro.dtypes import INT64
 
@@ -64,8 +65,8 @@ def setup(npes, per_pe, mram, backend, execution, tile=None):
     """Fresh system + communicator + seeded inputs for one run."""
     system = DimmSystem(GEOMETRIES[npes], mram_bytes=mram, backend=backend)
     manager = HypercubeManager(system, shape=(npes,))
-    kwargs = {} if tile is None else {"stream_tile_bytes": tile}
-    comm = Communicator(manager, execution=execution, **kwargs)
+    comm = Communicator(manager, SessionConfig(
+        execution=execution, stream_tile_bytes=tile))
     pe_ids = slice_groups(manager, "1")[0].pe_ids
     rng = np.random.default_rng(11)
     values = rng.integers(-99, 100, (npes, per_pe // INT64.itemsize),

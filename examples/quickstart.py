@@ -19,6 +19,7 @@ from repro import (
     Communicator,
     DimmSystem,
     HypercubeManager,
+    SessionConfig,
 )
 from repro.analysis.trace import render_batch_timeline
 from repro.dtypes import INT64
@@ -59,7 +60,7 @@ def analytic_demo() -> None:
     print("=== Analytic demo: the paper's 1024-PE testbed, 8 MB/PE ===")
     system = DimmSystem.paper_testbed()
     manager = HypercubeManager(system, shape=(32, 32))
-    comm = Communicator(manager, functional=False)
+    comm = Communicator(manager, SessionConfig(functional=False))
     payload = 8 << 20
 
     print(f"{'config':>10s}  {'AlltoAll':>12s}")

@@ -7,20 +7,27 @@ substrate.
 
 Quickstart (the session API)::
 
-    from repro import Communicator, DimmSystem, HypercubeManager
+    from repro import Communicator, DimmSystem, HypercubeManager, SessionConfig
 
     system = DimmSystem.paper_testbed()
-    comm = Communicator(HypercubeManager(system, shape=(32, 32)))
+    comm = Communicator(HypercubeManager(system, shape=(32, 32)),
+                        SessionConfig(functional=False))
     buf = system.alloc(1 << 12)
     out = system.alloc(1 << 12)
     result = comm.allreduce("11", 1 << 12, src_offset=buf, dst_offset=out,
-                            data_type="int64", functional=False)
+                            data_type="int64")
     print(f"modelled time: {result.seconds * 1e3:.3f} ms")
     print(result.breakdown)          # per-category modelled seconds
 
 Repeated calls with the same shape reuse the compiled plan
 (``comm.stats`` reports hits), and ``comm.submit([...])`` schedules a
-batch of independent collectives with overlap-aware pricing.
+batch of independent collectives with overlap-aware pricing.  Many
+concurrent callers share one machine through the serving front-end
+(:mod:`repro.serving`)::
+
+    server = CollectiveServer(manager, SessionConfig(functional=False))
+    session = server.session("tenant-a", priority=2, weight=2.0)
+    future = session.submit(CommRequest("allreduce", "11", 1 << 12))
 
 The legacy one-call-per-collective surface (paper Figure 10) is kept
 for paper fidelity and delegates to the same engine::
@@ -52,8 +59,10 @@ from .engine import (
     Communicator,
     EngineStats,
     PlanCache,
+    SessionConfig,
 )
 from .errors import PidCommError
+from .serving import CollectiveServer, Session, TenantSpec
 from .hw import DimmGeometry, DimmSystem, MachineParams
 from .reliability import (
     FAIL_FAST,
@@ -70,7 +79,8 @@ __all__ = [
     "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
     "Communicator", "CommRequest", "CommResult", "CommFuture",
-    "BatchResult", "PlanCache", "EngineStats",
+    "BatchResult", "PlanCache", "EngineStats", "SessionConfig",
+    "CollectiveServer", "Session", "TenantSpec",
     "FaultInjector", "FaultSpec", "RetryPolicy", "ReliabilityPolicy",
     "RELIABLE", "FAIL_FAST",
     "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",

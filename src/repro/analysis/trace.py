@@ -208,6 +208,35 @@ def render_reliability(stats) -> str:
     return "\n".join(lines)
 
 
+def render_serving(stats) -> str:
+    """Render a :class:`~repro.serving.server.ServerStats` block.
+
+    Example::
+
+        Serving(24 requests over 5 batches, clock 12.400 ms)
+        goodput 1234567 B/s
+        tenant-a | 12 done   0 shed  p50  3.100 ms  p99  8.800 ms  ######
+        tenant-b | 12 done   2 shed  p50  4.000 ms  p99  9.100 ms  ######
+    """
+    if not stats.dispatched:
+        return "Serving(no requests dispatched)"
+    lines = [f"Serving({stats.dispatched} requests over {stats.batches} "
+             f"batches, clock {stats.clock * 1e3:.3f} ms)",
+             f"goodput {stats.goodput_bytes_per_second:.0f} B/s"]
+    tenants = {tid: t for tid, t in stats.tenants.items()
+               if t.submitted or t.completed}
+    if tenants:
+        longest = max(t.bytes_completed for t in tenants.values())
+        width = max(len(tid) for tid in tenants)
+        for tid in sorted(tenants):
+            t = tenants[tid]
+            lines.append(
+                f"{tid:<{width}s} |{t.completed:>4d} done {t.shed:>3d} shed"
+                f"  p50 {t.p50 * 1e3:>8.3f} ms  p99 {t.p99 * 1e3:>8.3f} ms"
+                f"  {_bar(t.bytes_completed, longest, width=20)}")
+    return "\n".join(lines)
+
+
 def dominant_category(plan: CommPlan, system: DimmSystem) -> str:
     """The category the plan spends most of its modelled time in."""
     breakdown = plan.estimate(system).breakdown()

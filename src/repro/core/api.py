@@ -6,26 +6,33 @@ Eight ``pidcomm_*`` functions mirror the C API::
                            src_offset, dst_offset, "int32", "sum")
 
 This is the paper-fidelity surface: the signatures follow Figure 10
-positionally, one call per collective.  New code should prefer the
-session API, :class:`repro.engine.Communicator`, which exposes the same
-eight primitives with keyword-only buffer arguments plus a plan cache,
-batched submission, and per-call instrumentation::
+positionally, one call per collective.  It is **deprecated** (kept
+working for paper fidelity; the first call per process emits a
+:class:`DeprecationWarning`).  New code should use the session API,
+:class:`repro.engine.Communicator`, which exposes the same eight
+primitives with keyword-only buffer arguments plus a plan cache,
+batched submission, and per-call instrumentation -- or, for many
+concurrent callers, a :class:`repro.serving.CollectiveServer` whose
+per-tenant ``Session.submit()`` adds admission control and fair-share
+scheduling on top::
 
     comm = Communicator(manager)
     result = comm.reduce_scatter("010", total_data_size,
                                  src_offset=src, dst_offset=dst,
                                  data_type="int32", reduction_type="sum")
 
-The shims below delegate to a shared per-manager session, so even
-legacy call sites get steady-state plan caching for free.  Each call
-returns a :class:`CommResult` carrying the modelled cost ledger, the
-plan, and (for rooted primitives) the host-side outputs;
-``functional=False`` skips the data movement for paper-scale analytic
-runs where only the cost matters.
+The shims below delegate to one shared, cached per-manager session
+(:func:`~repro.engine.communicator.shared_communicator`), so even
+legacy call sites get steady-state plan caching for free instead of
+re-planning per call.  Each call returns a :class:`CommResult` carrying
+the modelled cost ledger, the plan, and (for rooted primitives) the
+host-side outputs; ``functional=False`` skips the data movement for
+paper-scale analytic runs where only the cost matters.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -39,6 +46,25 @@ from .hypercube import HypercubeManager
 #: Backwards-compatible alias (the helper moved to ``repro.engine``).
 _reduced_vector = reduced_vector
 
+#: Set after the first shim call; the deprecation warns once per
+#: process (legacy suites loop these thousands of times).
+_legacy_warned = False
+
+
+def _warn_legacy(name: str) -> None:
+    """Emit the once-per-process shim deprecation warning."""
+    global _legacy_warned
+    if _legacy_warned:
+        return
+    _legacy_warned = True
+    warnings.warn(
+        f"{name}() and the module-level pidcomm_* shims are deprecated; "
+        "create a Communicator(manager, SessionConfig(...)) and call its "
+        "methods, or serve concurrent tenants through "
+        "repro.serving.CollectiveServer and Session.submit() "
+        "(see docs/serving.md)",
+        DeprecationWarning, stacklevel=3)
+
 
 def pidcomm_alltoall(manager: HypercubeManager,
                      comm_dimensions: str | Sequence[int],
@@ -47,6 +73,7 @@ def pidcomm_alltoall(manager: HypercubeManager,
                      config: OptConfig = FULL,
                      functional: bool = True) -> CommResult:
     """AlltoAll across the cube slices selected by ``comm_dimensions``."""
+    _warn_legacy("pidcomm_alltoall")
     return shared_communicator(manager).alltoall(
         comm_dimensions, total_data_size, src_offset=src_offset,
         dst_offset=dst_offset, data_type=data_type, config=config,
@@ -60,6 +87,7 @@ def pidcomm_allgather(manager: HypercubeManager,
                       config: OptConfig = FULL,
                       functional: bool = True) -> CommResult:
     """AllGather: every group member ends with all members' chunks."""
+    _warn_legacy("pidcomm_allgather")
     return shared_communicator(manager).allgather(
         comm_dimensions, total_data_size, src_offset=src_offset,
         dst_offset=dst_offset, data_type=data_type, config=config,
@@ -75,6 +103,7 @@ def pidcomm_reduce_scatter(manager: HypercubeManager,
                            config: OptConfig = FULL,
                            functional: bool = True) -> CommResult:
     """ReduceScatter (consumes the source buffer, like the PIM kernel)."""
+    _warn_legacy("pidcomm_reduce_scatter")
     return shared_communicator(manager).reduce_scatter(
         comm_dimensions, total_data_size, src_offset=src_offset,
         dst_offset=dst_offset, data_type=data_type,
@@ -89,6 +118,7 @@ def pidcomm_allreduce(manager: HypercubeManager,
                       config: OptConfig = FULL,
                       functional: bool = True) -> CommResult:
     """AllReduce as a fused ReduceScatter + AllGather."""
+    _warn_legacy("pidcomm_allreduce")
     return shared_communicator(manager).allreduce(
         comm_dimensions, total_data_size, src_offset=src_offset,
         dst_offset=dst_offset, data_type=data_type,
@@ -106,6 +136,7 @@ def pidcomm_gather(manager: HypercubeManager,
     Each instance's output is the rank-order concatenation of member
     chunks, returned as a typed numpy array.
     """
+    _warn_legacy("pidcomm_gather")
     return shared_communicator(manager).gather(
         comm_dimensions, total_data_size, src_offset=src_offset,
         data_type=data_type, config=config, functional=functional)
@@ -124,6 +155,7 @@ def pidcomm_scatter(manager: HypercubeManager,
     (``group_size * total_data_size`` bytes worth of elements); it may
     be omitted for analytic (``functional=False``) runs.
     """
+    _warn_legacy("pidcomm_scatter")
     return shared_communicator(manager).scatter(
         comm_dimensions, total_data_size, dst_offset=dst_offset,
         data_type=data_type, payloads=payloads, config=config,
@@ -138,6 +170,7 @@ def pidcomm_reduce(manager: HypercubeManager,
                    config: OptConfig = FULL,
                    functional: bool = True) -> CommResult:
     """Reduce to the host; results in ``result.host_outputs``."""
+    _warn_legacy("pidcomm_reduce")
     return shared_communicator(manager).reduce(
         comm_dimensions, total_data_size, src_offset=src_offset,
         data_type=data_type, reduction_type=reduction_type, config=config,
@@ -152,6 +185,7 @@ def pidcomm_broadcast(manager: HypercubeManager,
                       config: OptConfig = FULL,
                       functional: bool = True) -> CommResult:
     """Broadcast per-instance host buffers to every member PE."""
+    _warn_legacy("pidcomm_broadcast")
     return shared_communicator(manager).broadcast(
         comm_dimensions, total_data_size, dst_offset=dst_offset,
         data_type=data_type, payloads=payloads, config=config,

@@ -1,24 +1,29 @@
 """Session-based execution engine for PID-Comm collectives.
 
 Sits between the public API and ``core/collectives``: the
-:class:`Communicator` session compiles each collective shape once (plan
-cache), submits batches with overlap-aware scheduling
-(:func:`schedule_waves` + :meth:`CostLedger.merge_concurrent`), and
-instruments every call (:class:`EngineStats`).  The legacy
-``pidcomm_*`` functions in :mod:`repro.core.api` are thin shims over a
-shared per-manager session.
+:class:`Communicator` session -- constructed from one frozen
+:class:`SessionConfig` -- compiles each collective shape once (plan
+cache, optionally partitioned per tenant), submits batches with
+overlap-aware scheduling (:func:`schedule_waves` +
+:meth:`CostLedger.merge_concurrent`), and instruments every call
+(:class:`EngineStats`).  The deprecated ``pidcomm_*`` functions in
+:mod:`repro.core.api` are thin shims over a shared per-manager
+session; many concurrent callers should go through
+:mod:`repro.serving` instead.
 """
 
-from .cache import PlanCache, bind_payloads
+from .cache import CachePartition, PartitionKey, PlanCache, bind_payloads
 from .communicator import Communicator, shared_communicator
 from .request import CommRequest, NormalizedRequest, PlanKey
 from .result import BatchResult, CommFuture, CommResult
 from .scheduler import WaveCost, price_waves, schedule_waves
+from .session_config import EXECUTION_MODES, SessionConfig
 from .stats import EngineStats
 
 __all__ = [
     "Communicator", "CommRequest", "CommResult", "CommFuture",
-    "BatchResult", "PlanCache", "PlanKey", "EngineStats",
+    "BatchResult", "PlanCache", "CachePartition", "PartitionKey",
+    "PlanKey", "EngineStats", "SessionConfig", "EXECUTION_MODES",
     "NormalizedRequest", "WaveCost", "bind_payloads",
     "schedule_waves", "price_waves", "shared_communicator",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -37,6 +37,10 @@ from .request import PlanKey
 #: compiled programs hang off cache entries, index tables.
 DEFAULT_MAXSIZE = 128
 
+#: Sentinel for :meth:`PlanCache.partition`'s ``maxsize`` ("keep the
+#: partition's current bound").
+_KEEP: Any = object()
+
 
 @dataclass
 class _CacheEntry:
@@ -44,6 +48,99 @@ class _CacheEntry:
 
     plan: CommPlan
     program: CommProgram | None = None
+
+
+@dataclass(frozen=True)
+class PartitionKey:
+    """A tenant-namespaced cache key.
+
+    Partition views store their entries in the parent cache under
+    ``PartitionKey(tenant, key)``, so two tenants issuing the identical
+    collective shape compile (and evict) independently -- the isolation
+    the serving front-end's per-tenant quotas rely on.
+    """
+
+    tenant: str
+    key: Any
+
+
+class CachePartition:
+    """One tenant's view of a shared :class:`PlanCache`.
+
+    The view namespaces every key with the tenant id, keeps its own LRU
+    order and (optional) ``maxsize`` bound, and counts its own hits,
+    misses, and evictions.  A partition evicting never touches another
+    tenant's entries; conversely, when the *parent's* global LRU bound
+    drops a partitioned entry, the owning partition is notified so its
+    bookkeeping (and eviction count) stays truthful.
+    """
+
+    def __init__(self, parent: "PlanCache", tenant: str,
+                 maxsize: int | None = None) -> None:
+        self.parent = parent
+        self.tenant = tenant
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._order: OrderedDict[PartitionKey, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: Any) -> bool:
+        return self._wrap(key) in self.parent
+
+    def _wrap(self, key: Any) -> PartitionKey:
+        return PartitionKey(self.tenant, key)
+
+    def fetch(self, key: Any,
+              builder: Callable[[], CommPlan]) -> tuple[CommPlan, bool]:
+        """Cached plan for ``key`` within this partition; (plan, hit)."""
+        wrapped = self._wrap(key)
+        plan, hit = self.parent.fetch(wrapped, builder)
+        if hit:
+            self.hits += 1
+            if wrapped in self._order:
+                self._order.move_to_end(wrapped)
+        else:
+            self.misses += 1
+            self._order[wrapped] = None
+            self._enforce()
+        return plan, hit
+
+    def fetch_program(self, key: Any,
+                      builder: Callable[[], CommProgram]
+                      ) -> tuple[CommProgram, bool]:
+        """Compiled program for ``key``'s partitioned plan entry."""
+        return self.parent.fetch_program(self._wrap(key), builder)
+
+    def _enforce(self) -> None:
+        """Apply this partition's LRU bound (parent entries drop too)."""
+        while self.maxsize is not None and len(self._order) > self.maxsize:
+            victim, _ = self._order.popitem(last=False)
+            self.parent.discard(victim)
+            self.evictions += 1
+
+    def _dropped(self, wrapped: PartitionKey) -> None:
+        """Parent callback: the global LRU evicted one of our entries."""
+        if wrapped in self._order:
+            del self._order[wrapped]
+            self.evictions += 1
+
+    def counters(self) -> dict[str, int]:
+        """Plain-dict snapshot for :class:`~repro.engine.EngineStats`."""
+        return {"plans": len(self._order), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions}
+
+    def clear(self) -> None:
+        """Drop this partition's entries (parent entries included)."""
+        while self._order:
+            victim, _ = self._order.popitem(last=False)
+            self.parent.discard(victim)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
 
 class PlanCache:
@@ -62,6 +159,7 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self._plans: OrderedDict[PlanKey, _CacheEntry] = OrderedDict()
+        self._partitions: dict[str, CachePartition] = {}
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -87,8 +185,9 @@ class PlanCache:
         plan = builder()
         self._plans[key] = _CacheEntry(plan)
         if self.maxsize is not None and len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
+            evicted, _ = self._plans.popitem(last=False)
             self.evictions += 1
+            self._notify_evicted(evicted)
         return plan, False
 
     def fetch_program(self, key: PlanKey,
@@ -116,6 +215,50 @@ class PlanCache:
         plan, _ = self.fetch(key, builder)
         return plan
 
+    # ------------------------------------------------------------------
+    # Tenant partitions
+    # ------------------------------------------------------------------
+    def partition(self, tenant: str,
+                  maxsize: int | None = _KEEP) -> CachePartition:
+        """The (lazily created) :class:`CachePartition` for ``tenant``.
+
+        ``maxsize`` sets or updates the partition's own LRU bound
+        (``None`` = only the parent's global bound applies); omit it to
+        keep the partition's current bound.  Entries live in this
+        cache's map under tenant-namespaced keys, so the global
+        ``maxsize`` still bounds total memory.
+        """
+        view = self._partitions.get(tenant)
+        if view is None:
+            view = CachePartition(self, tenant,
+                                  None if maxsize is _KEEP else maxsize)
+            self._partitions[tenant] = view
+        elif maxsize is not _KEEP:
+            view.maxsize = maxsize
+            view._enforce()
+        return view
+
+    def partition_counters(self) -> dict[str, dict[str, int]]:
+        """tenant -> counter snapshot, for stats and reports."""
+        return {tenant: view.counters()
+                for tenant, view in sorted(self._partitions.items())}
+
+    def discard(self, key: Any) -> None:
+        """Drop one entry (plan and program) without LRU accounting.
+
+        Used by partitions enforcing their own bounds; a partition
+        counts the eviction itself, so the global ``evictions`` counter
+        keeps meaning "dropped by the *global* LRU bound".
+        """
+        self._plans.pop(key, None)
+
+    def _notify_evicted(self, key: Any) -> None:
+        """Tell the owning partition its entry fell to the global LRU."""
+        if isinstance(key, PartitionKey):
+            view = self._partitions.get(key.tenant)
+            if view is not None:
+                view._dropped(key)
+
     @property
     def lookups(self) -> int:
         """Total lookups performed (hits + misses)."""
@@ -133,11 +276,20 @@ class PlanCache:
         return self.hits / lookups if lookups else 0.0
 
     def clear(self) -> None:
-        """Drop all plans (and their programs) and reset the counters."""
+        """Drop all plans (and their programs) and reset the counters.
+
+        Partition views survive (their bounds are configuration), but
+        their contents and counters reset along with the parent.
+        """
         self._plans.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        for view in self._partitions.values():
+            view._order.clear()
+            view.hits = 0
+            view.misses = 0
+            view.evictions = 0
 
 
 def bind_payloads(plan: CommPlan,

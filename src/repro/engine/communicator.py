@@ -2,14 +2,25 @@
 
 A :class:`Communicator` binds a hypercube manager to an execution
 session: a plan compilation cache, an overlap-aware batch submitter,
-and per-call instrumentation.  It is the recommended API::
+and per-call instrumentation.  It is the recommended API, and since
+the serving redesign it is constructed from one frozen
+:class:`SessionConfig` value::
 
-    from repro import Communicator, DimmSystem, HypercubeManager
+    from repro import Communicator, DimmSystem, HypercubeManager, SessionConfig
 
     system = DimmSystem.paper_testbed()
-    comm = Communicator(HypercubeManager(system, shape=(32, 32)))
+    comm = Communicator(HypercubeManager(system, shape=(32, 32)),
+                        SessionConfig(backend="vectorized"))
     result = comm.allreduce("10", 8 << 20, src_offset=src, dst_offset=dst,
                             data_type="int64", reduction_type="sum")
+
+The eight legacy keyword arguments (``config=``, ``functional=``, ...)
+keep working but are deprecated: they route through
+:meth:`SessionConfig.from_kwargs` and emit a :class:`DeprecationWarning`
+naming the migration.  Many concurrent callers should not construct
+sessions at all -- :class:`repro.serving.CollectiveServer` multiplexes
+tenants onto one shared session with admission control and fair-share
+scheduling.
 
 The eight methods mirror the paper's Figure-10 primitives with
 *consistent keyword-only* ``src_offset``/``dst_offset``/``payloads``
@@ -23,13 +34,13 @@ them with :meth:`CostLedger.merge_concurrent`.
 
 from __future__ import annotations
 
+import warnings
 from time import perf_counter
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from ..core.collectives import (
-    FULL,
     GATHER_SCRATCH,
     REDUCE_SCRATCH,
     CommPlan,
@@ -61,13 +72,20 @@ from .cache import DEFAULT_MAXSIZE, PlanCache, bind_payloads
 from .request import CommRequest, NormalizedRequest
 from .result import BatchResult, CommFuture, CommResult, reduced_vector
 from .scheduler import price_waves, schedule_waves
+from .session_config import EXECUTION_MODES, SessionConfig
 from .stats import EngineStats
 
 #: One PE's saved MRAM intervals: ``(pe_id, offset, bytes)`` records.
 _Snapshot = list[tuple[int, int, np.ndarray]]
 
-#: Execution strategies for cached plans (``Communicator(execution=...)``).
-EXECUTION_MODES = ("auto", "interpreted", "compiled")
+#: Sentinel distinguishing "kwarg not passed" from an explicit None.
+_UNSET: Any = object()
+
+#: Names of the deprecated legacy constructor kwargs, in the order the
+#: old signature declared them (used for the migration hint).
+_LEGACY_KWARGS = ("config", "functional", "cache_size", "reliability",
+                  "fault_injector", "backend", "execution",
+                  "stream_tile_bytes")
 
 
 class Communicator:
@@ -75,74 +93,71 @@ class Communicator:
 
     Args:
         manager: The virtual hypercube the session communicates over.
-        config: Default :class:`OptConfig` (per-call overrides allowed).
-        functional: Whether calls move real bytes (False = analytic
-            pricing only); overridable per call and per batch.
-        cache_size: Plan-cache bound (None = unbounded; default
-            :data:`~repro.engine.cache.DEFAULT_MAXSIZE`, LRU).
-        reliability: Retry/degradation policy.  Defaults to
-            :data:`~repro.reliability.RELIABLE` when a fault injector
-            is supplied, else None (faults propagate to the caller).
-        fault_injector: Attached to the manager's system so every
-            transfer and launch consults it (``docs/reliability.md``).
-        backend: Execution backend to switch the manager's system to
-            (``"scalar"`` or ``"vectorized"``); None keeps the
-            system's current backend (``docs/performance.md``).
-        execution: ``"auto"`` (default) replays cached plans through
-            compiled programs whenever no fault injector is attached,
-            falling back to step interpretation otherwise;
-            ``"interpreted"`` always interprets; ``"compiled"``
-            demands program replay and raises if an injector (which
-            only the interpreted steps consult) is attached.
-        stream_tile_bytes: Streaming scratch budget per buffer.  When
-            set, compiled replays run tile-by-tile through one
-            session-owned double-buffered
-            :class:`~repro.hw.arena.ScratchPool`: peak working memory
-            is bounded to O(tile) instead of O(payload), steady-state
-            tiles allocate nothing, and ledgers price the two-stage
-            tile pipeline (``docs/performance.md``).  None (default)
-            replays unstreamed.  Requires a compiled-capable execution
-            mode (``"auto"`` or ``"compiled"``).
+        session_config: Frozen :class:`SessionConfig` describing the
+            session (optimization config, functional vs. analytic,
+            cache bound, reliability, backend, execution mode,
+            streaming).  None means the all-defaults config.
+        **legacy: The eight pre-redesign keyword arguments (``config``,
+            ``functional``, ``cache_size``, ``reliability``,
+            ``fault_injector``, ``backend``, ``execution``,
+            ``stream_tile_bytes``) are still accepted, route through
+            :meth:`SessionConfig.from_kwargs`, and emit a
+            :class:`DeprecationWarning`; they cannot be combined with
+            ``session_config``.
     """
 
     def __init__(self, manager: HypercubeManager,
-                 config: OptConfig = FULL, functional: bool = True,
-                 cache_size: int | None = DEFAULT_MAXSIZE,
-                 reliability: ReliabilityPolicy | None = None,
-                 fault_injector: FaultInjector | None = None,
-                 backend: str | None = None,
-                 execution: str = "auto",
-                 stream_tile_bytes: int | None = None) -> None:
+                 session_config: SessionConfig | None = None, *,
+                 config: OptConfig = _UNSET,
+                 functional: bool = _UNSET,
+                 cache_size: int | None = _UNSET,
+                 reliability: ReliabilityPolicy | None = _UNSET,
+                 fault_injector: FaultInjector | None = _UNSET,
+                 backend: str | None = _UNSET,
+                 execution: str = _UNSET,
+                 stream_tile_bytes: int | None = _UNSET) -> None:
+        passed = dict(zip(_LEGACY_KWARGS,
+                          (config, functional, cache_size, reliability,
+                           fault_injector, backend, execution,
+                           stream_tile_bytes)))
+        legacy = {name: value for name, value in passed.items()
+                  if value is not _UNSET}
+        if legacy:
+            if session_config is not None:
+                raise CollectiveError(
+                    "pass either session_config or the legacy keyword "
+                    f"arguments, not both (got session_config and "
+                    f"{sorted(legacy)})")
+            hint = ", ".join(f"{k}=..." for k in legacy)
+            warnings.warn(
+                f"Communicator({hint}) keyword arguments are deprecated; "
+                f"pass Communicator(manager, SessionConfig({hint})) "
+                "instead (see docs/serving.md)",
+                DeprecationWarning, stacklevel=2)
+            session_config = SessionConfig.from_kwargs(**legacy)
+        elif session_config is None:
+            session_config = SessionConfig()
+        #: The frozen configuration this session was built from.
+        self.session_config = session_config
         self.manager = manager
-        self.config = config
-        self.functional = functional
-        if execution not in EXECUTION_MODES:
-            raise CollectiveError(
-                f"unknown execution mode {execution!r}; "
-                f"known: {EXECUTION_MODES}")
-        self.execution = execution
-        if stream_tile_bytes is not None:
-            if stream_tile_bytes <= 0:
-                raise CollectiveError(
-                    f"stream_tile_bytes must be positive, got "
-                    f"{stream_tile_bytes}")
-            if execution == "interpreted":
-                raise CollectiveError(
-                    "stream_tile_bytes streams compiled replays; use "
-                    "execution='auto' or 'compiled'")
-        self.stream_tile_bytes = stream_tile_bytes
+        self.config = session_config.config
+        self.functional = session_config.functional
+        self.execution = session_config.execution
+        self.stream_tile_bytes = session_config.stream_tile_bytes
         #: Session-owned streaming scratch, reused across every call so
         #: steady-state streamed replay performs zero heap allocations.
-        self._scratch = ScratchPool() if stream_tile_bytes else None
-        if backend is not None:
-            manager.system.set_backend(backend)
-        self.cache = PlanCache(maxsize=cache_size)
+        self._scratch = ScratchPool() if self.stream_tile_bytes else None
+        if session_config.backend is not None:
+            manager.system.set_backend(session_config.backend)
+        self.cache = PlanCache(maxsize=session_config.cache_size)
         self.stats = EngineStats()
-        if fault_injector is not None:
-            manager.system.attach_fault_injector(fault_injector)
-            if reliability is None:
-                reliability = RELIABLE
-        self.reliability = reliability
+        reliability_policy = session_config.reliability
+        if session_config.fault_injector is not None:
+            manager.system.attach_fault_injector(
+                session_config.fault_injector)
+            if reliability_policy is None:
+                reliability_policy = RELIABLE
+        self.reliability = reliability_policy
         #: True once a permanent rank failure forced a remap; every
         #: later result reports it ran on the degraded cube.
         self.degraded = False
@@ -155,11 +170,27 @@ class Communicator:
     # ------------------------------------------------------------------
     # Engine internals
     # ------------------------------------------------------------------
+    def _plan_cache_for(self, req: NormalizedRequest):
+        """The cache view ``req`` resolves plans through.
+
+        Requests carrying a tenant id (the serving front-end stamps
+        one on every admitted request) go through that tenant's
+        :meth:`~repro.engine.cache.PlanCache.partition` so one tenant
+        cycling through many shapes can never evict another tenant's
+        steady-state plans.
+        """
+        if req.tenant is None:
+            return self.cache
+        return self.cache.partition(req.tenant)
+
     def _compile(self, req: NormalizedRequest) -> tuple[CommPlan, bool]:
         """Cached plan for ``req`` (payload-free); returns (plan, hit)."""
-        plan, hit = self.cache.fetch(req.plan_key,
-                                     lambda: self._build_plan(req))
+        cache = self._plan_cache_for(req)
+        plan, hit = cache.fetch(req.plan_key,
+                                lambda: self._build_plan(req))
         self.stats.plan_evictions = self.cache.evictions
+        if req.tenant is not None:
+            self.stats.plan_partitions[req.tenant] = cache.counters()
         return plan, hit
 
     def _program_for(self, req: NormalizedRequest,
@@ -186,7 +217,8 @@ class Communicator:
             self.stats.record_compile(perf_counter() - start)
             return program
 
-        program, _ = self.cache.fetch_program(req.plan_key, build)
+        program, _ = self._plan_cache_for(req).fetch_program(req.plan_key,
+                                                             build)
         return program
 
     def _build_plan(self, req: NormalizedRequest) -> CommPlan:
@@ -333,8 +365,8 @@ class Communicator:
             src_offset=req.src_offset, dst_offset=req.dst_offset,
             data_type=req.dtype, reduction_type=req.op,
             payloads=req.payloads, config=req.config,
-            tag=req.tag).normalize(self.manager, self.config,
-                                   backend=self.backend)
+            tag=req.tag, tenant=req.tenant).normalize(
+                self.manager, self.config, backend=self.backend)
 
     def _run_reliable(self, req: NormalizedRequest,
                       functional: bool) -> CommResult:

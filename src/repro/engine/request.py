@@ -50,6 +50,10 @@ class CommRequest:
         config: Per-request :class:`OptConfig` override (None = the
             communicator's default).
         tag: Free-form label surfaced in traces and futures.
+        tenant: Owning tenant id, stamped by the serving front-end
+            (``repro.serving``).  Routes plan lookups through that
+            tenant's plan-cache partition; None (direct session use)
+            keeps the shared cache.
     """
 
     primitive: str
@@ -62,6 +66,7 @@ class CommRequest:
     payloads: Mapping[int, np.ndarray] | None = None
     config: OptConfig | None = None
     tag: str | None = None
+    tenant: str | None = None
 
     def normalize(self, manager: HypercubeManager,
                   default_config: OptConfig,
@@ -93,7 +98,7 @@ class CommRequest:
             group_size=group_size(manager, dims),
             backend=backend,
             topology=manager.topology_signature(),
-            payloads=self.payloads, tag=self.tag)
+            payloads=self.payloads, tag=self.tag, tenant=self.tenant)
 
 
 @dataclass
@@ -117,6 +122,9 @@ class NormalizedRequest:
     topology: Any = None
     payloads: Mapping[int, np.ndarray] | None = None
     tag: str | None = None
+    #: Owning tenant id (serving front-end); selects the plan-cache
+    #: partition the engine resolves this request through.
+    tenant: str | None = None
 
     @property
     def plan_key(self) -> "PlanKey":

@@ -1,0 +1,126 @@
+"""The frozen session configuration: one object, one construction path.
+
+:class:`SessionConfig` consolidates what used to be eight sprawling
+``Communicator.__init__`` keyword arguments (``config``, ``functional``,
+``cache_size``, ``reliability``, ``fault_injector``, ``backend``,
+``execution``, ``stream_tile_bytes``) into a single frozen dataclass::
+
+    from repro import Communicator, SessionConfig
+
+    cfg = SessionConfig(functional=False, backend="vectorized",
+                        stream_tile_bytes=8 << 20)
+    comm = Communicator(manager, cfg)
+
+Freezing matters for the serving front-end (``repro.serving``): a
+:class:`~repro.serving.CollectiveServer` admits many tenants onto one
+session, so the session's configuration must be a value that can be
+validated once, shared, compared, and stamped into reports -- not a
+bag of mutable attributes.  The legacy keyword arguments keep working
+(they route through :meth:`SessionConfig.from_kwargs` and emit a
+:class:`DeprecationWarning` naming the migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+from ..core.collectives import FULL, OptConfig
+from ..errors import CollectiveError
+from ..reliability import FaultInjector, ReliabilityPolicy
+from .cache import DEFAULT_MAXSIZE
+
+#: Execution strategies for cached plans (``SessionConfig(execution=...)``).
+EXECUTION_MODES = ("auto", "interpreted", "compiled")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything that shapes one :class:`~repro.engine.Communicator`.
+
+    Args:
+        config: Default :class:`OptConfig` (per-call overrides allowed).
+        functional: Whether calls move real bytes (False = analytic
+            pricing only); overridable per call and per batch.
+        cache_size: Plan-cache bound (None = unbounded; default
+            :data:`~repro.engine.cache.DEFAULT_MAXSIZE`, LRU).
+        reliability: Retry/degradation policy.  Defaults to
+            :data:`~repro.reliability.RELIABLE` when a fault injector
+            is supplied, else None (faults propagate to the caller).
+        fault_injector: Attached to the manager's system so every
+            transfer and launch consults it (``docs/reliability.md``).
+        backend: Execution backend to switch the manager's system to
+            (``"scalar"`` or ``"vectorized"``); None keeps the
+            system's current backend (``docs/performance.md``).
+        execution: ``"auto"`` (default) replays cached plans through
+            compiled programs whenever no fault injector is attached,
+            falling back to step interpretation otherwise;
+            ``"interpreted"`` always interprets; ``"compiled"``
+            demands program replay and raises if an injector (which
+            only the interpreted steps consult) is attached.
+        stream_tile_bytes: Streaming scratch budget per buffer.  When
+            set, compiled replays run tile-by-tile through one
+            session-owned double-buffered scratch pool; peak working
+            memory is bounded to O(tile) (``docs/performance.md``).
+            None (default) replays unstreamed.  Requires a
+            compiled-capable execution mode.
+    """
+
+    config: OptConfig = FULL
+    functional: bool = True
+    cache_size: int | None = DEFAULT_MAXSIZE
+    reliability: ReliabilityPolicy | None = None
+    fault_injector: FaultInjector | None = None
+    backend: str | None = None
+    execution: str = "auto"
+    stream_tile_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the combination once, at construction."""
+        if self.execution not in EXECUTION_MODES:
+            raise CollectiveError(
+                f"unknown execution mode {self.execution!r}; "
+                f"known: {EXECUTION_MODES}")
+        if self.stream_tile_bytes is not None:
+            if self.stream_tile_bytes <= 0:
+                raise CollectiveError(
+                    f"stream_tile_bytes must be positive, got "
+                    f"{self.stream_tile_bytes}")
+            if self.execution == "interpreted":
+                raise CollectiveError(
+                    "stream_tile_bytes streams compiled replays; use "
+                    "execution='auto' or 'compiled'")
+        if self.backend is not None \
+                and self.backend not in ("scalar", "vectorized"):
+            raise CollectiveError(
+                f"unknown backend {self.backend!r}; "
+                f"known: ('scalar', 'vectorized')")
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "SessionConfig":
+        """Build a config from the legacy ``Communicator`` kwargs.
+
+        Rejects unknown names with the same error a mistyped keyword
+        argument used to raise, so legacy call sites migrate loudly.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise CollectiveError(
+                f"unknown session option(s) {unknown}; "
+                f"known: {sorted(known)}")
+        return cls(**kwargs)
+
+    def evolve(self, **changes: Any) -> "SessionConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line summary naming only the non-default choices."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                label = getattr(value, "label", value)
+                parts.append(f"{f.name}={label}")
+        return f"SessionConfig({', '.join(parts)})"

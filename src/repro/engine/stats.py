@@ -39,6 +39,12 @@ class EngineStats:
     cache_hits: int = 0
     #: Plans (with their programs) dropped by LRU cache eviction.
     plan_evictions: int = 0
+    #: tenant -> latest plan-cache partition counter snapshot
+    #: (``plans`` / ``hits`` / ``misses`` / ``evictions``), refreshed on
+    #: every tenant-attributed plan lookup.  Empty unless the serving
+    #: front-end (or a tenant-tagged request) is in play; the global
+    #: eviction counter above stays tenant-blind.
+    plan_partitions: dict[str, dict[str, int]] = field(default_factory=dict)
     #: Plans lowered into compiled programs (one per cached shape).
     programs_compiled: int = 0
     #: Calls served by compiled-program replay instead of interpretation.
@@ -149,6 +155,8 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "plan_evictions": self.plan_evictions,
+            "plan_partitions": {tenant: dict(counters) for tenant, counters
+                                in self.plan_partitions.items()},
             "programs_compiled": self.programs_compiled,
             "program_replays": self.program_replays,
             "compile_seconds": self.compile_seconds,
@@ -194,6 +202,14 @@ class EngineStats:
                 lines.append(f"    tiles replayed  {self.tiles_replayed}")
                 lines.append(f"    peak scratch    "
                              f"{self.peak_scratch_bytes} B")
+        if self.plan_partitions:
+            lines.append("  plan-cache partitions:")
+            for tenant in sorted(self.plan_partitions):
+                c = self.plan_partitions[tenant]
+                lines.append(
+                    f"    {tenant:<16s} {c.get('plans', 0):>3d} plans  "
+                    f"{c.get('hits', 0):>5d} hits  "
+                    f"{c.get('evictions', 0):>3d} evictions")
         if self.per_primitive_calls:
             lines.append("  per primitive:")
             for name in sorted(self.per_primitive_calls):

@@ -86,3 +86,25 @@ class FaultBudgetExceeded(ReliabilityError):
     """A request burned through its retry/fault budget without succeeding."""
 
     kind = "budget"
+
+
+class ServingError(PidCommError):
+    """Base class for the multi-tenant serving front-end's errors."""
+
+
+class AdmissionRejected(ServingError):
+    """The admission queue is full and the request could not displace
+    anything (its tenant's priority is not above the lowest queued)."""
+
+
+class RequestShed(ServingError):
+    """A queued (not yet dispatched) request was shed to make room for
+    higher-priority work under overload."""
+
+
+class QuotaExceeded(ServingError):
+    """The request's per-PE MRAM footprint exceeds its tenant's quota."""
+
+
+class SessionClosed(ServingError):
+    """The tenant session was closed; no further submissions accepted."""

@@ -1,0 +1,29 @@
+"""Multi-tenant serving front-end for the PID-Comm engine.
+
+Many concurrent tenants, one machine: a
+:class:`CollectiveServer` owns a single
+:class:`~repro.engine.communicator.Communicator` session and admits
+per-tenant :class:`Session` handles onto it.  Admission is bounded
+(:class:`AdmissionQueue` -- overload sheds low-priority queued work or
+rejects the arrival), dispatch is weighted fair-share
+(:class:`FairShareScheduler` -- a greedy tenant cannot starve the
+rest), and execution drains into the engine's hazard-wave batch
+``submit()``, so every request returns exactly the result a solo
+session would have produced.  :class:`LoadGenerator` replays the
+paper-application mixes (:data:`MIXES`) and reports per-tenant
+p50/p99 latency and goodput.
+"""
+
+from ..engine.session_config import SessionConfig
+from .admission import AdmissionQueue, AdmissionStats, PendingRequest
+from .fairness import FairShareScheduler
+from .loadgen import MIXES, LoadGenerator, TenantLoad
+from .server import CollectiveServer, ServerStats, TenantStats
+from .session import Session, TenantSpec
+
+__all__ = [
+    "CollectiveServer", "Session", "TenantSpec", "SessionConfig",
+    "AdmissionQueue", "AdmissionStats", "PendingRequest",
+    "FairShareScheduler", "LoadGenerator", "TenantLoad", "MIXES",
+    "ServerStats", "TenantStats",
+]

@@ -1,0 +1,178 @@
+"""Bounded admission with priority-ordered shedding under overload.
+
+The :class:`AdmissionQueue` is the serving front-end's waiting room.
+Its depth is bounded: a server facing more traffic than one simulated
+machine can absorb must turn work away *early* (at admission) rather
+than let queues -- and tail latency -- grow without bound.  Overload
+policy, in order:
+
+1. **Admit** while the queue has room.  A queued request may still be
+   shed (below); a *dispatched* request -- one the scheduler has pulled
+   into an execution batch -- is never dropped.
+2. **Shed** when the queue is full and the arriving request's tenant
+   has *strictly higher* priority than the lowest-priority tenant with
+   queued work: that tenant's newest queued request is shed (its future
+   fails with :class:`~repro.errors.RequestShed`) and the arrival takes
+   its place.  Shedding the newest entry preserves the victim tenant's
+   oldest (closest to completion) work.
+3. **Reject** otherwise: the arrival itself is the lowest priority, so
+   ``submit()`` raises :class:`~repro.errors.AdmissionRejected`
+   synchronously -- immediate backpressure to the caller.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..engine.request import CommRequest, NormalizedRequest
+from ..errors import AdmissionRejected
+
+
+@dataclass
+class PendingRequest:
+    """One submitted-but-not-yet-dispatched request."""
+
+    seq: int
+    tenant_id: str
+    priority: int
+    #: Fair-share charge for this request (payload bytes).
+    cost: float
+    request: CommRequest
+    normalized: NormalizedRequest
+    future: Any  # asyncio.Future, untyped to keep the module import-light
+    #: Modelled server clock at submission (latency = completion - this).
+    arrival: float
+
+    def describe(self) -> str:
+        """Short label for shed/reject diagnostics."""
+        return (f"{self.tenant_id}#{self.seq} "
+                f"{self.normalized.describe()} (priority {self.priority})")
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the queue accumulates across its lifetime."""
+
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    #: High-water mark of queued requests.
+    peak_depth: int = 0
+
+
+class AdmissionQueue:
+    """Bounded per-tenant FIFO queues with priority shedding.
+
+    One FIFO per tenant preserves each tenant's submission order; the
+    *total* queued count across tenants is bounded by ``max_depth``.
+    The fair-share scheduler dequeues with :meth:`pop`, always taking a
+    tenant's oldest entry.
+    """
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        self.stats = AdmissionStats()
+        self._queues: "OrderedDict[str, deque[PendingRequest]]" = OrderedDict()
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def __bool__(self) -> bool:
+        return self._depth > 0
+
+    def pending(self, tenant_id: str) -> int:
+        """Queued requests for one tenant."""
+        queue = self._queues.get(tenant_id)
+        return len(queue) if queue else 0
+
+    def pending_tenants(self) -> list[str]:
+        """Tenants with queued work, in first-queued order."""
+        return [t for t, q in self._queues.items() if q]
+
+    def offer(self, entry: PendingRequest) -> PendingRequest | None:
+        """Admit ``entry``; returns the shed victim, if admission shed one.
+
+        Raises :class:`~repro.errors.AdmissionRejected` when the queue
+        is full and ``entry`` cannot displace anything.  The caller
+        owns failing the victim's future (the queue never touches
+        futures, keeping it trivially testable).
+        """
+        victim = None
+        if self._depth >= self.max_depth:
+            victim = self._pick_victim(entry.priority)
+            if victim is None:
+                self.stats.rejected += 1
+                raise AdmissionRejected(
+                    f"admission queue full ({self.max_depth} deep) and "
+                    f"{entry.describe()} is not above the lowest queued "
+                    "priority")
+            self._remove(victim)
+            self.stats.shed += 1
+        self._queues.setdefault(entry.tenant_id,
+                                deque()).append(entry)
+        self._depth += 1
+        self.stats.admitted += 1
+        if self._depth > self.stats.peak_depth:
+            self.stats.peak_depth = self._depth
+        return victim
+
+    def peek(self, tenant_id: str) -> PendingRequest:
+        """``tenant_id``'s oldest entry, without dequeuing it.
+
+        The server's hazard-aware batch filler inspects heads before
+        committing to a dispatch.
+        """
+        queue = self._queues.get(tenant_id)
+        if not queue:
+            raise KeyError(f"tenant {tenant_id!r} has no queued requests")
+        return queue[0]
+
+    def pop(self, tenant_id: str) -> PendingRequest:
+        """Dequeue ``tenant_id``'s oldest entry (dispatch: now unsheddable)."""
+        queue = self._queues.get(tenant_id)
+        if not queue:
+            raise KeyError(f"tenant {tenant_id!r} has no queued requests")
+        entry = queue.popleft()
+        self._depth -= 1
+        return entry
+
+    def evict_tenant(self, tenant_id: str) -> list[PendingRequest]:
+        """Drop every queued entry of one tenant (session close)."""
+        queue = self._queues.pop(tenant_id, None)
+        if not queue:
+            return []
+        dropped = list(queue)
+        self._depth -= len(dropped)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Overload internals
+    # ------------------------------------------------------------------
+    def _pick_victim(self, arriving_priority: int) -> PendingRequest | None:
+        """The entry to shed for an arrival of ``arriving_priority``.
+
+        The *newest* queued entry of the lowest-priority tenant, and
+        only if that priority is strictly below the arrival's (equal
+        priorities never displace each other -- that would just churn).
+        Ties between equally low tenants break toward the longest
+        queue (the tenant hurting the system most), then tenant id for
+        determinism.
+        """
+        candidates = [(q[-1].priority, -len(q), t)
+                      for t, q in self._queues.items() if q]
+        if not candidates:
+            return None
+        lowest_priority, neg_len, tenant = min(candidates)
+        if lowest_priority >= arriving_priority:
+            return None
+        return self._queues[tenant][-1]
+
+    def _remove(self, entry: PendingRequest) -> None:
+        queue = self._queues[entry.tenant_id]
+        queue.remove(entry)
+        self._depth -= 1

@@ -1,0 +1,267 @@
+"""Multi-tenant load generation: workload mixes and the report.
+
+Replays representative request mixes against a
+:class:`~repro.serving.server.CollectiveServer` and reports what each
+tenant experienced -- completed requests, shed/rejected counts, and
+modelled p50/p99 latency plus goodput.  Three mixes model the paper's
+application classes:
+
+* ``"dlrm_burst"`` -- recommendation-model embedding exchange: bursts
+  of AlltoAll (table lookups) capped by an AllGather (pooled outputs).
+* ``"gnn_epoch"`` -- graph-network training: a steady alternation of
+  AllReduce (gradients) and ReduceScatter (partitioned aggregation).
+* ``"bfs_frontier"`` -- breadth-first search: AlltoAll whose payload
+  tracks the frontier as it swells then collapses across rounds.
+
+Each tenant owns a disjoint MRAM region (src in the lower half, dst in
+the upper half), so tenants are data-independent and the engine's
+hazard scheduler can overlap them freely; all sizes and choices come
+from a seeded RNG, making every run bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.groups import group_size, resolve_dims
+from ..engine.request import CommRequest
+from ..errors import AdmissionRejected, QuotaExceeded, RequestShed
+from .server import CollectiveServer
+
+#: A mix function maps (round index, seeded rng) to a list of
+#: ``(primitive, scale)`` steps; ``scale`` in (0, 1] multiplies the
+#: tenant's base request size.
+MixFn = Callable[[int, random.Random], list[tuple[str, float]]]
+
+
+def _dlrm_burst(round_idx: int, rng: random.Random) -> list[tuple[str, float]]:
+    """Embedding-exchange burst: 2-4 AlltoAlls then a pooled AllGather."""
+    burst = 2 + rng.randrange(3)
+    steps = [("alltoall", 1.0)] * burst
+    steps.append(("allgather", 0.5))
+    return steps
+
+
+def _gnn_epoch(round_idx: int, rng: random.Random) -> list[tuple[str, float]]:
+    """Training epoch: gradient AllReduce + partitioned ReduceScatter."""
+    return [("allreduce", 0.5), ("reduce_scatter", 1.0)]
+
+
+#: Frontier occupancy profile across BFS rounds (swell then collapse).
+_BFS_PROFILE = (0.125, 0.5, 1.0, 0.75, 0.25)
+
+
+def _bfs_frontier(round_idx: int,
+                  rng: random.Random) -> list[tuple[str, float]]:
+    """Frontier exchange: one AlltoAll sized by the round's frontier."""
+    scale = _BFS_PROFILE[round_idx % len(_BFS_PROFILE)]
+    jitter = rng.choice((0.75, 1.0, 1.0, 1.25))
+    return [("alltoall", min(1.0, scale * jitter))]
+
+
+#: Named workload mixes the load generator understands.
+MIXES: dict[str, MixFn] = {
+    "dlrm_burst": _dlrm_burst,
+    "gnn_epoch": _gnn_epoch,
+    "bfs_frontier": _bfs_frontier,
+}
+
+
+@dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's slice of a load-generation run."""
+
+    tenant_id: str
+    #: Mix name (a :data:`MIXES` key).
+    mix: str
+    priority: int = 1
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        """Validate the mix name early, with the known names listed."""
+        if self.mix not in MIXES:
+            raise ValueError(
+                f"unknown mix {self.mix!r}; known: {sorted(MIXES)}")
+
+
+class LoadGenerator:
+    """Replays tenant mixes against a server and reports the outcome.
+
+    Args:
+        server: The serving front-end under load; the generator opens
+            one session per :class:`TenantLoad`.
+        loads: The tenants and their mixes.
+        dims: Dimension bitmap every generated request communicates
+            over (e.g. ``"11"``).
+        seed: RNG seed; runs are bit-reproducible per seed.
+        region_bytes: Per-tenant MRAM region size; defaults to an even
+            split of the machine's MRAM across the tenants.
+        slots: Buffer slots per tenant region.  Consecutive steps of a
+            mix rotate through the slots (multi-buffering, as real
+            burst pipelines do), so a tenant's own burst is
+            data-independent and the server can batch it into one
+            wide wave instead of serializing it.  1 = single-buffered.
+    """
+
+    def __init__(self, server: CollectiveServer, loads: list[TenantLoad],
+                 dims: str = "1", *, seed: int = 0,
+                 region_bytes: int | None = None, slots: int = 2) -> None:
+        if not loads:
+            raise ValueError("LoadGenerator needs at least one TenantLoad")
+        ids = [load.tenant_id for load in loads]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate tenant ids in loads: {ids}")
+        self.server = server
+        self.loads = list(loads)
+        self.dims = dims
+        self.seed = seed
+        manager = server.manager
+        self.group = group_size(manager, resolve_dims(manager, dims))
+        mram = manager.system.mram_bytes
+        if region_bytes is None:
+            region_bytes = mram // len(loads)
+        if region_bytes * len(loads) > mram:
+            raise ValueError(
+                f"{len(loads)} regions of {region_bytes} B exceed the "
+                f"{mram} B of MRAM per PE")
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        self.region_bytes = region_bytes
+        self.slots = slots
+        self.slot_bytes = region_bytes // slots
+        # The largest request must fit its half-slot even when a
+        # primitive fans out by the group size (allgather's dst span).
+        align = self.group * 8
+        self.base_bytes = max(align,
+                              (self.slot_bytes // 2 // self.group)
+                              // align * align)
+        self.sessions = {
+            load.tenant_id: server.session(
+                load.tenant_id, priority=load.priority, weight=load.weight)
+            for load in loads}
+
+    def _quantize(self, scale: float) -> int:
+        """A request size: ``scale * base``, aligned, never zero."""
+        align = self.group * 8
+        nbytes = int(self.base_bytes * scale) // align * align
+        return max(align, nbytes)
+
+    def requests_for(self, load: TenantLoad, round_idx: int,
+                     rng: random.Random) -> list[CommRequest]:
+        """The round's requests for one tenant, offsets in its region.
+
+        Steps rotate through the tenant's buffer slots, so within a
+        burst only every ``slots``-th request reuses a buffer.
+        """
+        index = self.loads.index(load)
+        region = index * self.region_bytes
+        requests = []
+        for step, (primitive, scale) in enumerate(
+                MIXES[load.mix](round_idx, rng)):
+            slot = region + (step % self.slots) * self.slot_bytes
+            requests.append(CommRequest(
+                primitive, self.dims, self._quantize(scale),
+                src_offset=slot, dst_offset=slot + self.slot_bytes // 2,
+                tag=f"{load.mix}:r{round_idx}"))
+        return requests
+
+    def round_requests(self, round_idx: int) -> list[tuple[str, CommRequest]]:
+        """Every tenant's requests for one round, in arrival order.
+
+        Deterministic per (seed, round): the serving benchmark replays
+        the exact same list through a solo session to build its
+        serialized baseline.
+        """
+        out: list[tuple[str, CommRequest]] = []
+        for load in self.loads:
+            # Stable across processes (str hashing is randomized;
+            # crc32 is not), so a seed pins the whole run.
+            rng = random.Random(
+                self.seed * 1_000_003 + round_idx * 1_009
+                + zlib.crc32(load.tenant_id.encode()))
+            for request in self.requests_for(load, round_idx, rng):
+                out.append((load.tenant_id, request))
+        return out
+
+    async def run(self, rounds: int = 4, *,
+                  lockstep: bool = True) -> dict[str, Any]:
+        """Replay ``rounds`` rounds of every tenant's mix; report.
+
+        Each round submits every tenant's steps (interleaved tenant by
+        tenant, modelling concurrent arrival).  ``lockstep=True``
+        (default) drains the server between rounds -- epoch-style
+        workloads where round N+1 waits on round N.  ``lockstep=False``
+        is the open-loop shape: all rounds arrive up front and the
+        server drains once, keeping every tenant backlogged so
+        batches stay maximally wide (the throughput-gate setting).
+        Shed and rejected requests are counted, never raised.  Returns
+        the JSON-ready report (see :meth:`report`).
+        """
+        outcomes: dict[str, dict[str, int]] = {
+            load.tenant_id: {"ok": 0, "shed": 0, "rejected": 0}
+            for load in self.loads}
+        futures: list[tuple[str, asyncio.Future]] = []
+
+        async def settle() -> None:
+            await self.server.drain()
+            gathered = await asyncio.gather(
+                *(future for _, future in futures), return_exceptions=True)
+            for (tenant_id, _), result in zip(futures, gathered):
+                if isinstance(result, RequestShed):
+                    outcomes[tenant_id]["shed"] += 1
+                elif isinstance(result, BaseException):
+                    raise result
+                else:
+                    outcomes[tenant_id]["ok"] += 1
+            futures.clear()
+
+        for round_idx in range(rounds):
+            for tenant_id, request in self.round_requests(round_idx):
+                try:
+                    futures.append((tenant_id,
+                                    self.sessions[tenant_id].submit(request)))
+                except (AdmissionRejected, QuotaExceeded):
+                    outcomes[tenant_id]["rejected"] += 1
+            if lockstep:
+                await settle()
+        if futures:
+            await settle()
+        return self.report(rounds, outcomes)
+
+    def report(self, rounds: int,
+               outcomes: dict[str, dict[str, int]]) -> dict[str, Any]:
+        """Assemble the JSON-ready run report from server statistics."""
+        stats = self.server.stats
+        tenants = {}
+        for load in self.loads:
+            tenant = stats.tenant(load.tenant_id)
+            clock = stats.clock
+            tenants[load.tenant_id] = {
+                "mix": load.mix,
+                "priority": load.priority,
+                "weight": load.weight,
+                **tenant.snapshot(),
+                "goodput_bytes_per_second":
+                    tenant.bytes_completed / clock if clock else 0.0,
+                **outcomes[load.tenant_id],
+            }
+        return {
+            "rounds": rounds,
+            "dims": self.dims,
+            "seed": self.seed,
+            "clock_seconds": stats.clock,
+            "batches": stats.batches,
+            "dispatched": stats.dispatched,
+            "goodput_bytes_per_second": stats.goodput_bytes_per_second,
+            "admission": {
+                "admitted": self.server.admission_stats.admitted,
+                "rejected": self.server.admission_stats.rejected,
+                "shed": self.server.admission_stats.shed,
+                "peak_depth": self.server.admission_stats.peak_depth,
+            },
+            "tenants": tenants,
+        }

@@ -1,0 +1,144 @@
+"""Per-tenant handles: :class:`TenantSpec` and :class:`Session`.
+
+A tenant never touches the :class:`~repro.engine.communicator.Communicator`
+directly.  It opens a :class:`Session` against the
+:class:`~repro.serving.server.CollectiveServer`, describes itself with a
+frozen :class:`TenantSpec` (priority, fair-share weight, MRAM quota,
+plan-cache slots), and submits :class:`~repro.engine.request.CommRequest`
+values through ``submit()``, which returns an ``asyncio`` future the
+tenant awaits.  The server stamps the tenant id onto every request, so
+plan lookups flow through the tenant's private plan-cache partition and
+per-tenant statistics accumulate without any cooperation from the
+request author.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..engine.request import CommRequest
+from ..errors import SessionClosed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .server import CollectiveServer, TenantStats
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Frozen description of one tenant's service class.
+
+    Args:
+        tenant_id: Unique name; also the plan-cache partition key.
+        priority: Admission priority.  Under overload, arrivals from a
+            strictly higher priority shed queued work of the lowest
+            priority; larger is more important.
+        weight: Fair-share weight -- the tenant's relative byte share
+            of the machine while backlogged (2.0 earns twice 1.0).
+        mram_quota_bytes: Per-PE MRAM footprint cap per request; a
+            request whose buffer span exceeds it is refused with
+            :class:`~repro.errors.QuotaExceeded`.  None = uncapped.
+        plan_cache_slots: LRU bound of the tenant's plan-cache
+            partition.  None = unbounded partition (the shared global
+            LRU bound still applies).
+    """
+
+    tenant_id: str
+    priority: int = 1
+    weight: float = 1.0
+    mram_quota_bytes: int | None = None
+    plan_cache_slots: int | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the spec (weights and bounds must be positive)."""
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be a non-empty string")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.mram_quota_bytes is not None and self.mram_quota_bytes <= 0:
+            raise ValueError("mram_quota_bytes must be positive, got "
+                             f"{self.mram_quota_bytes}")
+        if self.plan_cache_slots is not None and self.plan_cache_slots <= 0:
+            raise ValueError("plan_cache_slots must be positive, got "
+                             f"{self.plan_cache_slots}")
+
+
+class Session:
+    """One tenant's handle onto a :class:`CollectiveServer`.
+
+    Sessions are created by :meth:`CollectiveServer.session`, never
+    directly.  ``submit()`` is the async path (returns a future the
+    caller awaits); ``run()`` is the synchronous-test convenience that
+    submits and drains the server until the result is available.
+    """
+
+    def __init__(self, server: "CollectiveServer", spec: TenantSpec) -> None:
+        self.server = server
+        self.spec = spec
+        self._closed = False
+
+    @property
+    def tenant_id(self) -> str:
+        """The owning tenant's id."""
+        return self.spec.tenant_id
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; submissions then raise."""
+        return self._closed
+
+    def submit(self, request: CommRequest) -> "asyncio.Future[Any]":
+        """Admit ``request`` and return an awaitable future.
+
+        The future resolves to the request's
+        :class:`~repro.engine.result.CommResult` once a scheduler batch
+        executes it; it fails with
+        :class:`~repro.errors.RequestShed` if higher-priority overload
+        displaced the request while it was still queued.  Raises
+        synchronously: :class:`~repro.errors.AdmissionRejected` when
+        the queue is full and this tenant cannot displace anything,
+        :class:`~repro.errors.QuotaExceeded` when the request's per-PE
+        footprint exceeds the tenant's MRAM quota, and
+        :class:`~repro.errors.SessionClosed` after :meth:`close`.
+        Requires a running event loop (call from async code, or use
+        :meth:`run`).
+        """
+        if self._closed:
+            raise SessionClosed(
+                f"session for tenant {self.tenant_id!r} is closed")
+        return self.server._submit(self, request)
+
+    async def run(self, request: CommRequest) -> Any:
+        """Submit ``request`` and drive the server until it resolves.
+
+        The await-in-one-call convenience for tests and scripts that do
+        not run the server loop themselves.
+        """
+        future = self.submit(request)
+        while not future.done():
+            self.server.process(max_batches=1)
+            await asyncio.sleep(0)
+        return future.result()
+
+    def close(self) -> None:
+        """Close the session: drop queued work, refuse later submits.
+
+        Queued (not yet dispatched) requests fail with
+        :class:`~repro.errors.SessionClosed`; in-flight dispatched work
+        still completes.  Closing twice is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.server._close_session(self)
+
+    @property
+    def stats(self) -> "TenantStats":
+        """The server's per-tenant counters for this session."""
+        return self.server.stats.tenants[self.tenant_id]
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"Session({self.tenant_id!r}, priority {self.spec.priority}, "
+                f"weight {self.spec.weight:g}, {state})")

@@ -95,7 +95,8 @@ EXPECTED_EXPORTS = {
     "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
     "Communicator", "CommRequest", "CommResult", "CommFuture",
-    "BatchResult", "PlanCache", "EngineStats",
+    "BatchResult", "PlanCache", "EngineStats", "SessionConfig",
+    "CollectiveServer", "Session", "TenantSpec",
     "FaultInjector", "FaultSpec", "RetryPolicy", "ReliabilityPolicy",
     "RELIABLE", "FAIL_FAST",
     "ALL_PRIMITIVES", "ALL_TYPES", "ALL_OPS",

@@ -15,7 +15,8 @@ import pytest
 
 from .helpers import fill_group_inputs, groups_of, make_manager
 
-from repro import ABLATION_LADDER, Communicator, DimmSystem, FaultInjector, FULL
+from repro import (ABLATION_LADDER, Communicator, DimmSystem, FaultInjector,
+                   FULL, SessionConfig)
 from repro.core import reference as ref
 from repro.dtypes import FLOAT32, INT8, INT32, INT64, SUM
 from repro.errors import AllocationError, TransferError
@@ -40,8 +41,8 @@ def _run(primitive, config, dtype, backend, seed=0, injector=None):
     rng = np.random.default_rng(seed)
     manager = make_manager(SHAPE)
     system = manager.system
-    comm = Communicator(manager, config=config, fault_injector=injector,
-                        backend=backend)
+    comm = Communicator(manager, SessionConfig(config=config, fault_injector=injector,
+                        backend=backend))
     groups = groups_of(manager, BITMAP)
     n = groups[0].size
     item = dtype.itemsize
@@ -153,7 +154,7 @@ class TestCollectiveParity:
 class TestBackendPlumbing:
     def test_analytic_runs_allocate_nothing(self):
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, functional=False, backend="vectorized")
+        comm = Communicator(manager, SessionConfig(functional=False, backend="vectorized"))
         comm.alltoall(BITMAP, 256, src_offset=0, dst_offset=4096,
                       data_type=INT32)
         assert manager.system.touched_pes == 0
@@ -181,7 +182,7 @@ class TestBackendPlumbing:
         results = {}
         for backend in ("scalar", "vectorized"):
             manager = make_manager(SHAPE)
-            comm = Communicator(manager, backend=backend)
+            comm = Communicator(manager, SessionConfig(backend=backend))
             src = manager.system.alloc(256)
             dst = manager.system.alloc(256)
             res = comm.alltoall(BITMAP, 256, src_offset=src, dst_offset=dst,

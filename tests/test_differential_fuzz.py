@@ -23,6 +23,7 @@ from repro import (
     Communicator,
     FaultInjector,
     FULL,
+    SessionConfig,
 )
 from repro.core import reference as ref
 from repro.dtypes import INT8, INT16, INT32, INT64, SUM
@@ -63,9 +64,9 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
     """
     manager = make_manager(shape)
     system = manager.system
-    comm = Communicator(manager, config=config, fault_injector=injector,
-                        backend=backend, execution=execution,
-                        stream_tile_bytes=tile)
+    comm = Communicator(manager, SessionConfig(
+        config=config, fault_injector=injector, backend=backend,
+        execution=execution, stream_tile_bytes=tile))
     bitmap = _random_bitmap(rng, manager.ndim)
     groups = groups_of(manager, bitmap)
     n = groups[0].size

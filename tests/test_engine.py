@@ -22,6 +22,7 @@ from repro import (
     CommRequest,
     Communicator,
     PlanCache,
+    SessionConfig,
     pidcomm_allgather,
     pidcomm_allreduce,
     pidcomm_alltoall,
@@ -153,7 +154,7 @@ class TestPlanCache:
 class TestCommunicatorCache:
     def test_steady_state_zero_replanning(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         results = [comm.allreduce("010", total, src_offset=src,
                                   dst_offset=dst) for _ in range(6)]
         # One compile, five hits: the steady state never re-plans.
@@ -166,7 +167,7 @@ class TestCommunicatorCache:
 
     def test_differing_optconfig_misses(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         comm.alltoall("010", total, src_offset=src, dst_offset=dst)
         comm.alltoall("010", total, src_offset=src, dst_offset=dst,
                       config=BASELINE)
@@ -176,7 +177,7 @@ class TestCommunicatorCache:
 
     def test_differing_dtype_misses(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         comm.alltoall("010", total, src_offset=src, dst_offset=dst)
         comm.alltoall("010", total, src_offset=src, dst_offset=dst,
                       data_type=INT32)
@@ -184,14 +185,14 @@ class TestCommunicatorCache:
 
     def test_equivalent_dims_spellings_share_a_plan(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         comm.alltoall("010", total, src_offset=src, dst_offset=dst)
         comm.alltoall([1], total, src_offset=src, dst_offset=dst)
         assert comm.cache.hits == 1
 
     def test_irrelevant_op_coalesces_for_nonarithmetic(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         comm.submit([CommRequest("alltoall", "010", total, src_offset=src,
                                  dst_offset=dst, reduction_type="sum"),
                      CommRequest("alltoall", "010", total, src_offset=src,
@@ -486,7 +487,7 @@ class TestBatchSubmit:
 class TestInstrumentation:
     def test_stats_counters_and_report(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         for _ in range(3):
             comm.allreduce("010", total, src_offset=src, dst_offset=dst)
         stats = comm.stats
@@ -504,7 +505,7 @@ class TestInstrumentation:
 
     def test_batch_overlap_credit_recorded(self):
         manager, _, _, requests, _, _ = independent_batch()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         batch = comm.submit(requests)
         assert comm.stats.batches == 1 and comm.stats.waves == 1
         assert comm.stats.overlap_saved_seconds == pytest.approx(
@@ -512,7 +513,7 @@ class TestInstrumentation:
 
     def test_reset_stats_keeps_cache(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         comm.alltoall("010", total, src_offset=src, dst_offset=dst)
         comm.reset_stats()
         assert comm.stats.calls == 0 and len(comm.cache) == 1
@@ -522,11 +523,11 @@ class TestInstrumentation:
 
     def test_comm_result_repr_and_breakdown(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        result = Communicator(manager, functional=False).allreduce(
+        result = Communicator(manager, SessionConfig(functional=False)).allreduce(
             "010", total, src_offset=src, dst_offset=dst)
         assert result.breakdown == result.ledger.breakdown()
         assert "CommResult(allreduce" in repr(result)
-        again = Communicator(manager, functional=False)
+        again = Communicator(manager, SessionConfig(functional=False))
         again.allreduce("010", total, src_offset=src, dst_offset=dst)
         cached = again.allreduce("010", total, src_offset=src,
                                  dst_offset=dst)
@@ -571,7 +572,7 @@ class TestInstrumentation:
 class TestBindPayloads:
     def test_none_payloads_returns_same_plan(self):
         manager, _, total, src, dst, _ = seeded_setup()
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         result = comm.alltoall("010", total, src_offset=src, dst_offset=dst)
         assert bind_payloads(result.plan, None) is result.plan
 

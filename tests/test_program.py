@@ -16,7 +16,8 @@ import pytest
 
 from .helpers import fill_group_inputs, groups_of, make_manager
 
-from repro import ABLATION_LADDER, BASELINE, Communicator, FULL, FaultInjector
+from repro import (ABLATION_LADDER, BASELINE, Communicator, FULL,
+                   FaultInjector, SessionConfig)
 from repro.core.collectives.program import (
     CommProgram,
     FanoutScratchOp,
@@ -47,8 +48,8 @@ def _run(primitive, config, dtype, backend, execution, seed=0, calls=2):
     """
     manager = make_manager(SHAPE)
     system = manager.system
-    comm = Communicator(manager, config=config, backend=backend,
-                        execution=execution)
+    comm = Communicator(manager, SessionConfig(config=config, backend=backend,
+                        execution=execution))
     groups = groups_of(manager, BITMAP)
     n = groups[0].size
     item = dtype.itemsize
@@ -140,8 +141,8 @@ def _program_of(comm) -> CommProgram:
 class TestFusionStructure:
     def _comm(self, execution="compiled"):
         manager = make_manager(SHAPE)
-        return manager, Communicator(manager, backend="vectorized",
-                                     execution=execution)
+        return manager, Communicator(manager, SessionConfig(backend="vectorized",
+                                     execution=execution))
 
     def test_alltoall_fuses_to_one_gather_move(self):
         manager, comm = self._comm()
@@ -252,13 +253,13 @@ class TestExecutionPolicy:
     def test_unknown_mode_rejected(self):
         manager = make_manager(SHAPE)
         with pytest.raises(CollectiveError):
-            Communicator(manager, execution="jit")
+            Communicator(manager, SessionConfig(execution="jit"))
 
     def test_compiled_with_injector_raises(self):
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, execution="compiled",
+        comm = Communicator(manager, SessionConfig(execution="compiled",
                             fault_injector=FaultInjector(seed=1),
-                            reliability=None)
+                            reliability=None))
         comm.reliability = None  # isolate the injector check
         with pytest.raises(CollectiveError):
             comm.alltoall(BITMAP, 128, src_offset=0, dst_offset=4096,
@@ -266,16 +267,16 @@ class TestExecutionPolicy:
 
     def test_compiled_with_reliability_raises(self):
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, execution="compiled",
-                            fault_injector=FaultInjector(seed=1))
+        comm = Communicator(manager, SessionConfig(execution="compiled",
+                            fault_injector=FaultInjector(seed=1)))
         with pytest.raises(CollectiveError):
             comm.alltoall(BITMAP, 128, src_offset=0, dst_offset=4096,
                           data_type=INT32, functional=False)
 
     def test_auto_with_injector_falls_back_to_interpreted(self):
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, execution="auto",
-                            fault_injector=FaultInjector(seed=1))
+        comm = Communicator(manager, SessionConfig(execution="auto",
+                            fault_injector=FaultInjector(seed=1)))
         result = comm.alltoall(BITMAP, 128, src_offset=0, dst_offset=4096,
                                data_type=INT32, functional=False)
         assert result.execution == "interpreted"
@@ -290,8 +291,8 @@ class TestExecutionPolicy:
 
     def test_analytic_compiled_prices_without_touching_memory(self):
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, functional=False,
-                            backend="vectorized", execution="compiled")
+        comm = Communicator(manager, SessionConfig(functional=False,
+                            backend="vectorized", execution="compiled"))
         a = comm.alltoall(BITMAP, 256, src_offset=0, dst_offset=4096,
                           data_type=INT32)
         b = comm.alltoall(BITMAP, 256, src_offset=0, dst_offset=4096,
@@ -302,8 +303,8 @@ class TestExecutionPolicy:
 
     def test_stats_count_compiles_and_replays(self):
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, backend="vectorized",
-                            execution="compiled")
+        comm = Communicator(manager, SessionConfig(backend="vectorized",
+                            execution="compiled"))
         groups = groups_of(manager, BITMAP)
         n = groups[0].size
         total = n * CHUNK * 4
@@ -371,7 +372,7 @@ class TestPlanCacheEviction:
 
     def test_session_surfaces_evictions_through_stats(self):
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, functional=False, cache_size=1)
+        comm = Communicator(manager, SessionConfig(functional=False, cache_size=1))
         comm.alltoall(BITMAP, 128, src_offset=0, dst_offset=4096,
                       data_type=INT32)
         comm.allgather(BITMAP, 128, src_offset=0, dst_offset=4096,

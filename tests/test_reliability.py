@@ -20,6 +20,7 @@ from repro import (
     HypercubeManager,
     PlanCache,
     ReliabilityPolicy,
+    SessionConfig,
 )
 from repro.core import reference as ref
 from repro.core.groups import member_pes
@@ -194,7 +195,7 @@ class TestTimeouts:
         manager = make_manager((4, 8))
         system = manager.system
         injector = FaultInjector(seed=3, timeout_rate=0.2)
-        comm = Communicator(manager, fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(fault_injector=injector))
         groups = groups_of(manager, "11")
         src = system.alloc(1 << 10)
         dst = system.alloc(1 << 10)
@@ -215,8 +216,8 @@ class TestTimeouts:
         manager = make_manager((4, 8))
         injector = FaultInjector(seed=0, timeout_rate=0.95)
         policy = ReliabilityPolicy(retry=RetryPolicy(max_attempts=3))
-        comm = Communicator(manager, reliability=policy,
-                            fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(reliability=policy,
+                            fault_injector=injector))
         src = manager.system.alloc(256)
         with pytest.raises(FaultBudgetExceeded):
             comm.allreduce("11", 256, src_offset=src, dst_offset=src)
@@ -226,8 +227,8 @@ class TestTimeouts:
         injector = FaultInjector(seed=0, timeout_rate=0.95)
         policy = ReliabilityPolicy(
             retry=RetryPolicy(max_attempts=50, fault_budget=2))
-        comm = Communicator(manager, reliability=policy,
-                            fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(reliability=policy,
+                            fault_injector=injector))
         src = manager.system.alloc(256)
         with pytest.raises(FaultBudgetExceeded, match="budget"):
             comm.allreduce("11", 256, src_offset=src, dst_offset=src)
@@ -246,7 +247,7 @@ class TestSnapshotRestore:
             manager = make_manager((4, 8))
             system = manager.system
             injector = FaultInjector(seed=seed, timeout_rate=0.25)
-            comm = Communicator(manager, fault_injector=injector)
+            comm = Communicator(manager, SessionConfig(fault_injector=injector))
             groups = groups_of(manager, "11")
             n = groups[0].size
             elems = n * 2
@@ -283,7 +284,7 @@ class TestSnapshotElision:
         monkeypatch.setattr(Communicator, "_snapshot", counting)
         manager = make_manager((4, 8))
         system = manager.system
-        comm = Communicator(manager, fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(fault_injector=injector))
         groups = groups_of(manager, "11")
         n = groups[0].size
         src = system.alloc(n * 2 * 8)
@@ -367,7 +368,7 @@ class TestRankFailure:
         manager = make_manager((4, 8))
         system = manager.system
         injector = FaultInjector(seed=0)
-        comm = Communicator(manager, fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(fault_injector=injector))
         src = system.alloc(256)
         dst = system.alloc(256)
         values = {pe: rng.integers(0, 99, 32).astype(np.int64)
@@ -392,8 +393,8 @@ class TestRankFailure:
     def test_fail_fast_policy_propagates(self):
         manager = make_manager((4, 8))
         injector = FaultInjector(seed=0)
-        comm = Communicator(manager, reliability=FAIL_FAST,
-                            fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(reliability=FAIL_FAST,
+                            fault_injector=injector))
         src = manager.system.alloc(256)
         injector.fail_rank(0)
         with pytest.raises(RankFailure):
@@ -432,7 +433,7 @@ class TestDegradedCacheKeys:
         manager = make_manager((4, 8))
         system = manager.system
         injector = FaultInjector(seed=0)
-        comm = Communicator(manager, fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(fault_injector=injector))
         src = system.alloc(256)
         for pe in manager.all_pes:
             system.write_elements(pe, src,
@@ -484,7 +485,7 @@ class TestPlanCacheStats:
 
     def test_engine_stats_match_cache_counters(self):
         manager = make_manager((4, 8))
-        comm = Communicator(manager, functional=False)
+        comm = Communicator(manager, SessionConfig(functional=False))
         for _ in range(3):
             comm.allreduce("11", 256, functional=False)
         assert comm.stats.plans_compiled == 1
@@ -502,7 +503,7 @@ class TestTraceIntegration:
         manager = make_manager((4, 8))
         system = manager.system
         injector = FaultInjector(seed=3, timeout_rate=0.2)
-        comm = Communicator(manager, fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(fault_injector=injector))
         assert render_reliability(comm.stats) == \
             "Reliability(no faults observed)"
         src = system.alloc(1 << 10)
@@ -518,7 +519,7 @@ class TestTraceIntegration:
         manager = make_manager((4, 8))
         system = manager.system
         injector = FaultInjector(seed=3, timeout_rate=0.2)
-        comm = Communicator(manager, fault_injector=injector)
+        comm = Communicator(manager, SessionConfig(fault_injector=injector))
         src = system.alloc(1 << 10)
         dst = system.alloc(1 << 10)
         fill_group_inputs(system, groups_of(manager, "11"), src, 128,

@@ -20,7 +20,7 @@ import pytest
 
 from .helpers import fill_group_inputs, groups_of, make_manager
 
-from repro import Communicator, FULL
+from repro import Communicator, FULL, SessionConfig
 from repro.core.collectives.program import band_ranges
 from repro.core.groups import slice_groups
 from repro.dtypes import FLOAT32, INT32, INT64, SUM
@@ -49,8 +49,8 @@ def _run(primitive, dtype, backend, execution, tile=None, seed=0, calls=2):
     """
     manager = make_manager(SHAPE)
     system = manager.system
-    comm = Communicator(manager, config=FULL, backend=backend,
-                        execution=execution, stream_tile_bytes=tile)
+    comm = Communicator(manager, SessionConfig(config=FULL, backend=backend,
+                        execution=execution, stream_tile_bytes=tile))
     groups = groups_of(manager, BITMAP)
     n = groups[0].size
     item = dtype.itemsize
@@ -162,8 +162,8 @@ class TestStreamedParity:
         # must be rebuilt and the replay stay bit-exact.
         manager = make_manager(SHAPE)
         system = manager.system
-        comm = Communicator(manager, backend="vectorized",
-                            execution="compiled", stream_tile_bytes=64)
+        comm = Communicator(manager, SessionConfig(backend="vectorized",
+                            execution="compiled", stream_tile_bytes=64))
         groups = groups_of(manager, BITMAP)
         n = groups[0].size
         total = n * CHUNK * 4
@@ -194,27 +194,27 @@ class TestEnginePolicy:
     def test_non_positive_tile_rejected(self):
         manager = make_manager(SHAPE)
         with pytest.raises(CollectiveError):
-            Communicator(manager, stream_tile_bytes=0)
+            Communicator(manager, SessionConfig(stream_tile_bytes=0))
         with pytest.raises(CollectiveError):
-            Communicator(manager, stream_tile_bytes=-4)
+            Communicator(manager, SessionConfig(stream_tile_bytes=-4))
 
     def test_interpreted_mode_rejects_streaming(self):
         manager = make_manager(SHAPE)
         with pytest.raises(CollectiveError):
-            Communicator(manager, execution="interpreted",
-                         stream_tile_bytes=64)
+            Communicator(manager, SessionConfig(execution="interpreted",
+                         stream_tile_bytes=64))
 
     def test_analytic_streamed_pricing_touches_nothing(self):
         # functional=False still prices the tile pipeline: the tile
         # plan is a pure function of the program's shapes.
         manager = make_manager(SHAPE)
-        comm = Communicator(manager, functional=False,
+        comm = Communicator(manager, SessionConfig(functional=False,
                             backend="vectorized", execution="compiled",
-                            stream_tile_bytes=64)
+                            stream_tile_bytes=64))
         result = comm.alltoall(BITMAP, 32 * CHUNK * 4, src_offset=0,
                                dst_offset=4096, data_type=INT32)
-        plain = Communicator(make_manager(SHAPE), functional=False,
-                             backend="vectorized", execution="compiled")
+        plain = Communicator(make_manager(SHAPE), SessionConfig(functional=False,
+                             backend="vectorized", execution="compiled"))
         untiled = plain.alltoall(BITMAP, 32 * CHUNK * 4, src_offset=0,
                                  dst_offset=4096, data_type=INT32)
         assert result.execution == "streamed"
@@ -229,8 +229,8 @@ class TestEnginePolicy:
         # same steady state here to inspect its stats object.
         manager = make_manager(SHAPE)
         system = manager.system
-        comm = Communicator(manager, backend="vectorized",
-                            execution="compiled", stream_tile_bytes=32)
+        comm = Communicator(manager, SessionConfig(backend="vectorized",
+                            execution="compiled", stream_tile_bytes=32))
         groups = groups_of(manager, BITMAP)
         n = groups[0].size
         total = n * CHUNK * 4
@@ -255,8 +255,8 @@ class TestZeroAllocationSteadyState:
         manager = make_manager(SHAPE)
         system = manager.system
         tile = 2048
-        comm = Communicator(manager, backend="vectorized",
-                            execution="compiled", stream_tile_bytes=tile)
+        comm = Communicator(manager, SessionConfig(backend="vectorized",
+                            execution="compiled", stream_tile_bytes=tile))
         n = 32
         per_pe = n * 64 * 8            # 16 KiB per PE, 512 KiB total
         src = system.alloc(per_pe)

@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.trace import (
     dominant_category,
     render_categories,
+    render_serving,
     render_timeline,
     trace_plan,
 )
@@ -60,3 +61,24 @@ class TestRendering:
         # Optimized AlltoAll is bus-bound; the baseline is host-bound.
         assert dominant_category(fast, system) == "bus"
         assert dominant_category(slow, system) in ("host_mem", "host_mod")
+
+    def test_render_serving_lists_tenants(self):
+        import asyncio
+
+        from repro import CollectiveServer, CommRequest, SessionConfig
+        from tests.helpers import make_manager
+
+        async def scenario():
+            server = CollectiveServer(make_manager((8, 4)),
+                                      SessionConfig(functional=False))
+            assert render_serving(server.stats) \
+                == "Serving(no requests dispatched)"
+            session = server.session("tenant-a")
+            session.submit(CommRequest("alltoall", "10", 256,
+                                       dst_offset=8192))
+            await server.drain()
+            return render_serving(server.stats)
+
+        text = asyncio.run(scenario())
+        assert "tenant-a" in text
+        assert "p50" in text and "p99" in text and "goodput" in text

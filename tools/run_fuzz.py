@@ -19,7 +19,8 @@ import time
 
 import numpy as np
 
-from repro import ABLATION_LADDER, Communicator, DimmSystem, FaultInjector, HypercubeManager
+from repro import (ABLATION_LADDER, Communicator, DimmSystem, FaultInjector,
+                   HypercubeManager, SessionConfig)
 from repro.core import reference as ref
 from repro.core.groups import slice_groups
 from repro.dtypes import INT8, INT16, INT32, INT64, SUM
@@ -60,7 +61,8 @@ def run_one(rng, case_seed, fault_rate):
         per = fault_rate / 3.0
         injector = FaultInjector(seed=case_seed, bit_flip_rate=per,
                                  drop_rate=per, timeout_rate=per)
-    comm = Communicator(manager, config=config, fault_injector=injector)
+    comm = Communicator(manager,
+                        SessionConfig(config=config, fault_injector=injector))
     bitmap = random_bitmap(rng, manager.ndim)
     groups = slice_groups(manager, bitmap)
     n = groups[0].size
