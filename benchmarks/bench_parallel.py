@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Benchmark parallel replay: worker-pool waves vs. the serial engine.
+
+Submits a batch of hazard-independent AlltoAlls (disjoint MRAM
+regions, so the scheduler forms one wide wave) through sessions with
+``parallel_workers`` in {1, 2, 4} and times the steady-state batch
+replay on the vectorized backend, compiled + streamed.  Before timing,
+the pooled session is checked bit-exact against the *scalar
+interpreted* serial oracle at a moderate size (outputs, SIMD counters,
+WRAM tiles), and worker-count invariance is checked at the gate size:
+outputs, CostLedger totals and tile counts must be identical at every
+worker count -- parallelism changes wall-clock only.
+
+The wall-clock gate is core-aware: threads cannot beat serial replay
+without cores to run on, so the speedup threshold (>= 2x at 4 workers
+for the full 1024-PE / 64 MiB run, >= 1.3x at 2 workers for
+``--smoke``) is enforced only when the host has at least as many CPUs
+as gate workers.  On smaller hosts the parity and invariance checks
+still gate; the speedup is recorded in the report with
+``"gate": "skipped (N cores)"`` and the script exits 0::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py   # full gate
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import (Communicator, CommRequest, DimmGeometry, DimmSystem,
+                   HypercubeManager, SessionConfig)
+from repro.core.groups import slice_groups
+from repro.dtypes import INT64
+
+GEOMETRIES = {
+    256: DimmGeometry(2, 2, 8, 8),
+    1024: DimmGeometry(4, 4, 8, 8),
+}
+
+#: mode -> gate workload.  ``batch`` hazard-independent AlltoAlls of
+#: ``per_pe`` bytes each (full: 4 x 1024 PEs x 16 KiB = 64 MiB of
+#: payload per submit, the ISSUE's acceptance case).
+MODES = {
+    "full": {"npes": 1024, "per_pe": 1 << 14, "mram": 1 << 18,
+             "batch": 4, "tile": 4 << 20, "workers": (1, 2, 4),
+             "gate_workers": 4, "threshold": 2.0, "iters": 4},
+    "smoke": {"npes": 256, "per_pe": 1 << 14, "mram": 1 << 18,
+              "batch": 4, "tile": 1 << 20, "workers": (1, 2),
+              "gate_workers": 2, "threshold": 1.3, "iters": 8},
+}
+
+#: parity workload (scalar interpreted oracle; kept moderate because
+#: the oracle loops PEs in Python).
+PARITY = {"npes": 256, "per_pe": 1 << 12, "mram": 1 << 15, "batch": 3}
+
+
+def batch_requests(per_pe, batch):
+    """``batch`` AlltoAlls over disjoint src/dst slots: one wide wave."""
+    return [CommRequest("alltoall", "1", per_pe, src_offset=i * 2 * per_pe,
+                        dst_offset=i * 2 * per_pe + per_pe,
+                        data_type=INT64)
+            for i in range(batch)]
+
+
+def setup(spec, backend, execution, tile, workers):
+    """Fresh system + session + seeded inputs for every batch member."""
+    system = DimmSystem(GEOMETRIES[spec["npes"]], mram_bytes=spec["mram"],
+                        backend=backend)
+    manager = HypercubeManager(system, shape=(spec["npes"],))
+    comm = Communicator(manager, SessionConfig(
+        execution=execution, stream_tile_bytes=tile,
+        parallel_workers=workers))
+    pe_ids = slice_groups(manager, "1")[0].pe_ids
+    rng = np.random.default_rng(11)
+    elems = spec["per_pe"] // INT64.itemsize
+    for i in range(spec["batch"]):
+        values = rng.integers(-99, 100, (spec["npes"], elems),
+                              dtype=np.int64)
+        system.scatter_elements(pe_ids, i * 2 * spec["per_pe"],
+                                list(values), INT64)
+    return system, comm, pe_ids
+
+
+def submit(comm, spec):
+    """One batch of disjoint AlltoAlls; returns the member results."""
+    batch = comm.submit(batch_requests(spec["per_pe"], spec["batch"]))
+    return [future.result() for future in batch.futures]
+
+
+def outputs_of(system, pe_ids, spec):
+    """Every member's dst region, stacked (member, pe, element)."""
+    elems = spec["per_pe"] // INT64.itemsize
+    return np.stack([
+        np.stack(system.gather_elements(
+            pe_ids, i * 2 * spec["per_pe"] + spec["per_pe"], elems, INT64))
+        for i in range(spec["batch"])])
+
+
+def check_oracle_parity(tile, workers):
+    """Pooled streamed batch vs. the serial scalar interpreted oracle."""
+    runs = {}
+    for mode, backend, execution, t, w in (
+            ("oracle", "scalar", "interpreted", None, 1),
+            ("pooled", "vectorized", "compiled", tile, workers)):
+        system, comm, pe_ids = setup(PARITY, backend, execution, t, w)
+        results = submit(comm, PARITY)
+        runs[mode] = (outputs_of(system, pe_ids, PARITY), results, comm)
+        comm.close()
+    oracle_out, oracle_res, _ = runs["oracle"]
+    pooled_out, pooled_res, pooled_comm = runs["pooled"]
+    if any(r.execution != "streamed" for r in pooled_res):
+        raise SystemExit("PARITY FAIL: streaming did not engage")
+    if pooled_comm.stats.parallel_waves < 1:
+        raise SystemExit("PARITY FAIL: the pooled session never formed a "
+                         "parallel wave (batch not hazard-independent?)")
+    if not np.array_equal(oracle_out, pooled_out):
+        raise SystemExit("PARITY FAIL: pooled outputs diverge from the "
+                         "scalar interpreted oracle")
+    for a, b in zip(oracle_res, pooled_res):
+        if a.simd != b.simd:
+            raise SystemExit("PARITY FAIL: SIMD counters differ")
+        if a.wram_tiles != b.wram_tiles:
+            raise SystemExit("PARITY FAIL: WRAM tile counts differ")
+
+
+def check_worker_invariance(spec):
+    """Outputs, ledgers and tiles identical at every worker count."""
+    baseline = None
+    for workers in spec["workers"]:
+        system, comm, pe_ids = setup(spec, "vectorized", "compiled",
+                                     spec["tile"], workers)
+        results = submit(comm, spec)
+        economics = [(r.ledger.total, r.tiles) for r in results]
+        outputs = outputs_of(system, pe_ids, spec)
+        comm.close()
+        if baseline is None:
+            baseline = (economics, outputs)
+            continue
+        if economics != baseline[0]:
+            raise SystemExit(f"INVARIANCE FAIL: ledger/tiles at "
+                             f"{workers} workers differ from serial")
+        if not np.array_equal(outputs, baseline[1]):
+            raise SystemExit(f"INVARIANCE FAIL: outputs at {workers} "
+                             f"workers differ from serial")
+
+
+def time_batch(spec, workers, iters):
+    """Mean steady-state seconds per batch submit at ``workers``."""
+    system, comm, pe_ids = setup(spec, "vectorized", "compiled",
+                                 spec["tile"], workers)
+    submit(comm, spec)  # warm caches, tables, pool threads, scratch
+    start = time.perf_counter()
+    for _ in range(iters):
+        submit(comm, spec)
+    elapsed = (time.perf_counter() - start) / iters
+    waves = comm.stats.parallel_waves
+    comm.close()
+    if workers > 1 and waves < 1:
+        raise SystemExit(f"TIMING FAIL: {workers}-worker session never "
+                         f"formed a parallel wave")
+    return elapsed
+
+
+def main(argv=None):
+    """Parse args, check parity, time the gate, write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI (256 PEs, >= 1.3x "
+                             "gate at 2 workers, core-aware)")
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    spec = MODES[mode]
+    cores = os.cpu_count() or 1
+
+    print("[parity] pooled streamed batch vs scalar interpreted oracle ...",
+          flush=True)
+    check_oracle_parity(tile=spec["tile"] // 16,
+                        workers=spec["gate_workers"])
+    print("[parity] worker-count invariance at gate size ...", flush=True)
+    check_worker_invariance(spec)
+
+    serial_s = None
+    sweep = []
+    headline = None
+    for workers in spec["workers"]:
+        seconds = time_batch(spec, workers, spec["iters"])
+        if workers == 1:
+            serial_s = seconds
+        speedup = serial_s / seconds
+        entry = {"workers": workers, "seconds_per_batch": seconds,
+                 "speedup_vs_serial": speedup}
+        sweep.append(entry)
+        if workers == spec["gate_workers"]:
+            headline = entry
+        print(f"[timing] {workers} workers: {seconds * 1e3:.3f} ms/batch "
+              f"({speedup:.2f}x vs serial)", flush=True)
+
+    gated = cores >= spec["gate_workers"]
+    gate = (f"enforced (>= {spec['threshold']:.1f}x)" if gated
+            else f"skipped ({cores} cores)")
+    report = {
+        "mode": mode,
+        "workload": {"collective": "alltoall",
+                     "batch": spec["batch"], "npes": spec["npes"],
+                     "payload_bytes": spec["batch"] * spec["npes"]
+                     * spec["per_pe"],
+                     "tile_bytes": spec["tile"], "dtype": "int64",
+                     "backend": "vectorized"},
+        "parity": "bit-exact vs scalar interpreted oracle (outputs, simd, "
+                  "wram_tiles); outputs/ledgers/tiles invariant across "
+                  "worker counts at gate size",
+        "host_cores": cores,
+        "headline": {"workers": spec["gate_workers"],
+                     "threshold": spec["threshold"],
+                     "speedup": headline["speedup_vs_serial"],
+                     "gate": gate},
+        "sweep": sweep,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if not gated:
+        print(f"WARNING: wall-clock gate skipped -- host has {cores} "
+              f"core(s), gate needs >= {spec['gate_workers']}; parity "
+              f"and invariance checks still passed", flush=True)
+        return 0
+    if headline["speedup_vs_serial"] < spec["threshold"]:
+        print(f"REGRESSION: {spec['gate_workers']}-worker speedup "
+              f"{headline['speedup_vs_serial']:.2f}x < "
+              f"{spec['threshold']:.1f}x", file=sys.stderr)
+        return 1
+    print(f"OK: parallel replay {headline['speedup_vs_serial']:.2f}x >= "
+          f"{spec['threshold']:.1f}x at {spec['gate_workers']} workers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,6 +208,37 @@ def render_reliability(stats) -> str:
     return "\n".join(lines)
 
 
+def render_parallel(stats) -> str:
+    """Render an :class:`~repro.engine.stats.EngineStats` parallel block.
+
+    Example::
+
+        Parallel replay(4 workers)
+        waves     3 parallel (12 requests), 1 serial fallback
+        wall/task 1.200 / 4.100 ms (3.42x)
+        worker-0 | 37 bands  ##########
+        worker-1 | 35 bands  #########
+    """
+    if stats.parallel_workers <= 1 and not stats.parallel_waves:
+        return "Parallel replay(serial session)"
+    lines = [f"Parallel replay({stats.parallel_workers} workers)",
+             f"waves     {stats.parallel_waves} parallel "
+             f"({stats.parallel_requests} requests), "
+             f"{stats.parallel_fallbacks} serial fallback"
+             f"{'' if stats.parallel_fallbacks == 1 else 's'}",
+             f"wall/task {stats.parallel_wall_seconds * 1e3:.3f} / "
+             f"{stats.parallel_task_seconds * 1e3:.3f} ms "
+             f"({stats.parallel_speedup:.2f}x)"]
+    if stats.worker_bands:
+        longest = max(stats.worker_bands.values())
+        width = max(len(label) for label in stats.worker_bands)
+        for label in sorted(stats.worker_bands):
+            count = stats.worker_bands[label]
+            lines.append(f"{label:<{width}s} |{count:>4d} bands  "
+                         f"{_bar(count, longest, width=20)}")
+    return "\n".join(lines)
+
+
 def render_serving(stats) -> str:
     """Render a :class:`~repro.serving.server.ServerStats` block.
 

@@ -32,8 +32,9 @@ injector-free systems to program replay (``docs/reliability.md``).
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -93,13 +94,52 @@ def _stream_table(op, system: DimmSystem
     cached = op._stream_cache
     if cached is not None and cached[0] == token:
         return cached[1], cached[2]
-    table, width = system.stream_table(
-        op.ids, op.ngroups, op.src_offset, op.chunk_bytes,
-        op.lane, op.slot)
-    # Building the table may itself grow the arena (it touches every
-    # source row), so the validity token is read after the build.
-    op._stream_cache = (system.stream_token(), table, width)
-    return table, width
+    # Concurrent first touch (two threads replaying this op against a
+    # fresh arena) must build the table exactly once and share it
+    # read-only thereafter: double-checked under the op's lock.
+    with op._stream_lock:
+        token = system.stream_token()
+        cached = op._stream_cache
+        if cached is not None and cached[0] == token:
+            return cached[1], cached[2]
+        table, width = system.stream_table(
+            op.ids, op.ngroups, op.src_offset, op.chunk_bytes,
+            op.lane, op.slot)
+        # Building the table may itself grow the arena (it touches
+        # every source row), so the validity token is read after the
+        # build.
+        op._stream_cache = (system.stream_token(), table, width)
+        return table, width
+
+
+def _run_bands(units: Sequence, pool: ScratchPool, workers,
+               run_one: Callable[[ScratchPool, Any], None]) -> None:
+    """Execute per-band work units serially or across a worker pool.
+
+    ``workers`` is the engine's :class:`~repro.engine.parallel
+    .WorkerPool` (duck-typed here so core never imports engine), or
+    None for today's serial loop.  Parallel dispatch is safe because
+    every unit writes a disjoint set of output rows
+    (:func:`band_ranges` partitions the row axis) into
+    already-materialized arena rows, and each worker gathers through
+    its own private scratch pool.  Nested calls (a wave member
+    replaying on a worker thread) run inline on that thread.
+    """
+    if workers is None or workers.workers <= 1 or len(units) <= 1 \
+            or workers.in_worker:
+        for unit in units:
+            run_one(pool, unit)
+        if workers is not None:
+            workers.count_bands(len(units))
+        return
+
+    def task(unit):
+        def run() -> None:
+            run_one(workers.scratch(), unit)
+            workers.count_bands(1)
+        return run
+
+    workers.run([task(unit) for unit in units])
 
 
 def scaled_counter(counter: SimdCounter, factor: int) -> SimdCounter:
@@ -132,13 +172,17 @@ class ProgramOp(abc.ABC):
 
     def execute_streamed(self, ctx: ExecContext,
                          payloads: Mapping[int, np.ndarray] | None,
-                         pool: ScratchPool, tile_bytes: int) -> None:
+                         pool: ScratchPool, tile_bytes: int,
+                         workers=None) -> None:
         """Replay tile-by-tile through the scratch pool.
 
         The default falls back to one untiled :meth:`execute` pass
         (host-flow ops produce inherently full-size host state); tiled
         overrides must stay bit-identical to ``execute`` and charge
         ``ctx.tiles`` with the count :meth:`tile_count` predicts.
+        ``workers`` (an engine worker pool, or None) lets banded
+        overrides fan independent bands across host threads -- results
+        and every counter stay identical; only wall-clock changes.
         """
         self.execute(ctx, payloads)
         ctx.tiles += 1
@@ -186,6 +230,7 @@ class GatherMoveOp(ProgramOp):
         # gathers along a single pre-indexed axis (see arena docs).
         self.flat = flat_chunk_table(self.lane, self.slot, self.nslots_in)
         self._stream_cache = None
+        self._stream_lock = threading.Lock()
 
     def execute(self, ctx: ExecContext,
                 payloads: Mapping[int, np.ndarray] | None) -> None:
@@ -222,33 +267,41 @@ class GatherMoveOp(ProgramOp):
 
     def execute_streamed(self, ctx: ExecContext,
                          payloads: Mapping[int, np.ndarray] | None,
-                         pool: ScratchPool, tile_bytes: int) -> None:
+                         pool: ScratchPool, tile_bytes: int,
+                         workers=None) -> None:
         bands = self._bands(tile_bytes)
         if bands is None:
-            super().execute_streamed(ctx, payloads, pool, tile_bytes)
+            super().execute_streamed(ctx, payloads, pool, tile_bytes,
+                                     workers)
             return
         row_bytes = self.nslots_out * self.chunk_bytes
-        table = _stream_table(self, ctx.system)
+        system = ctx.system
+        table = _stream_table(self, system)
+        grouped = None
         if table is None:  # scalar backend: stage once, band-take after
             stage = pool.ping((self.ids.size,
                                self.nslots_in * self.chunk_bytes))
-            ctx.system.stage_rows(self.ids, self.src_offset,
-                                  self.nslots_in * self.chunk_bytes, stage)
+            system.stage_rows(self.ids, self.src_offset,
+                              self.nslots_in * self.chunk_bytes, stage)
             grouped = stage.view(wide_dtype(self.chunk_bytes)).reshape(
                 self.ngroups, -1)
-        for r0, r1 in bands:
+
+        def run_band(scratch: ScratchPool, band: tuple[int, int]) -> None:
+            r0, r1 = band
             if table is not None:
                 flat_table, width = table
-                out = pool.pong((r1 - r0, flat_table.shape[1]),
-                                wide_dtype(width))
-                ctx.system.take_band_flat(flat_table, width, r0, r1, out)
+                out = scratch.pong((r1 - r0, flat_table.shape[1]),
+                                   wide_dtype(width))
+                system.take_band_flat(flat_table, width, r0, r1, out)
             else:
-                out = pool.pong((r1 - r0, self.nslots_out),
-                                wide_dtype(self.chunk_bytes))
+                out = scratch.pong((r1 - r0, self.nslots_out),
+                                   wide_dtype(self.chunk_bytes))
                 take_band_staged(grouped, self.flat, r0, r1, out)
-            ctx.system.put_rows(
+            system.put_rows(
                 self.ids[r0:r1], self.dst_offset,
                 out.view(np.uint8).reshape(r1 - r0, row_bytes))
+
+        _run_bands(bands, pool, workers, run_band)
         ctx.tiles += len(bands)
         self._charge(ctx)
 
@@ -283,6 +336,7 @@ class ReduceFoldOp(ProgramOp):
     def __post_init__(self) -> None:
         self.flat = flat_chunk_table(self.lane, self.slot, self.nslots)
         self._stream_cache = None
+        self._stream_lock = threading.Lock()
 
     def execute(self, ctx: ExecContext,
                 payloads: Mapping[int, np.ndarray] | None) -> None:
@@ -327,10 +381,12 @@ class ReduceFoldOp(ProgramOp):
 
     def execute_streamed(self, ctx: ExecContext,
                          payloads: Mapping[int, np.ndarray] | None,
-                         pool: ScratchPool, tile_bytes: int) -> None:
+                         pool: ScratchPool, tile_bytes: int,
+                         workers=None) -> None:
         bands = self._bands(tile_bytes)
         if bands is None:
-            super().execute_streamed(ctx, payloads, pool, tile_bytes)
+            super().execute_streamed(ctx, payloads, pool, tile_bytes,
+                                     workers)
             return
         item = self.dtype.itemsize
         np_dtype = self.dtype.np_dtype
@@ -341,35 +397,44 @@ class ReduceFoldOp(ProgramOp):
         # allocation streaming keeps, O(payload / nslots).
         full = (np.empty((self.ids.size, elems), dtype=np_dtype)
                 if self.scratch_key is not None else None)
-        table = _stream_table(self, ctx.system)
+        system = ctx.system
+        table = _stream_table(self, system)
+        grouped = None
         if table is None:  # scalar backend: stage once, band-take after
             stage = pool.ping((self.ids.size,
                                self.nslots * self.chunk_bytes))
-            ctx.system.stage_rows(self.ids, self.src_offset,
-                                  self.nslots * self.chunk_bytes, stage)
+            system.stage_rows(self.ids, self.src_offset,
+                              self.nslots * self.chunk_bytes, stage)
             grouped = stage.view(wide_dtype(self.chunk_bytes)).reshape(
                 self.ngroups, -1)
-        for r0, r1 in bands:
+
+        def run_band(scratch: ScratchPool, rows: tuple[int, int]) -> None:
+            r0, r1 = rows
             band = r1 - r0
             if table is not None:
                 flat_table, width = table
-                gathered = pool.pong((band, flat_table.shape[1]),
-                                     wide_dtype(width))
-                ctx.system.take_band_flat(flat_table, width, r0, r1,
-                                          gathered)
+                gathered = scratch.pong((band, flat_table.shape[1]),
+                                        wide_dtype(width))
+                system.take_band_flat(flat_table, width, r0, r1,
+                                      gathered)
             else:
-                gathered = pool.pong((band, self.nslots),
-                                     wide_dtype(self.chunk_bytes))
+                gathered = scratch.pong((band, self.nslots),
+                                        wide_dtype(self.chunk_bytes))
                 take_band_staged(grouped, self.flat, r0, r1, gathered)
             values = gathered.view(np.uint8).reshape(
                 band, self.nslots, self.chunk_bytes).view(np_dtype)
+            # Folds stay band-local (no cross-band arithmetic), so the
+            # fold order -- and every float bit -- is identical at any
+            # worker count.
             acc = fold_slots(values, self.op,
-                             out=pool.fold((band, elems), np_dtype))
+                             out=scratch.fold((band, elems), np_dtype))
             if self.dst_offset is not None:
-                ctx.system.put_rows(self.ids[r0:r1], self.dst_offset,
-                                    acc.view(np.uint8))
+                system.put_rows(self.ids[r0:r1], self.dst_offset,
+                                acc.view(np.uint8))
             if full is not None:
                 full[r0:r1] = acc
+
+        _run_bands(bands, pool, workers, run_band)
         if full is not None:
             shaped = full.reshape(self.ngroups, lanes, elems)
             ctx.scratch[self.scratch_key] = {
@@ -431,7 +496,8 @@ class FanoutScratchOp(ProgramOp):
 
     def execute_streamed(self, ctx: ExecContext,
                          payloads: Mapping[int, np.ndarray] | None,
-                         pool: ScratchPool, tile_bytes: int) -> None:
+                         pool: ScratchPool, tile_bytes: int,
+                         workers=None) -> None:
         results = ctx.scratch.get(self.scratch_key)
         if results is None:
             raise CollectiveError(
@@ -440,6 +506,11 @@ class FanoutScratchOp(ProgramOp):
         bands = self._bands(tile_bytes)
         lanes = self.lane.shape[0]
         row_bytes = self.nslots_out * self.chunk_bytes
+        system = ctx.system
+        # (instance, band) units are all independent: instances write
+        # different groups' rows, bands write disjoint rows of one
+        # group, so the whole cross product fans out to the workers.
+        units = []
         for ids, inst in zip(self.group_ids, self.instances):
             row = np.ascontiguousarray(results[inst]).view(np.uint8)
             if row.shape != (lanes, self.chunk_bytes):
@@ -449,13 +520,18 @@ class FanoutScratchOp(ProgramOp):
             # The scratch matrix is contiguous, so each chunk is one
             # wide element regardless of alignment.
             chunks = row.view(wide_dtype(self.chunk_bytes)).reshape(-1)
-            for r0, r1 in bands:
-                fanned = pool.pong((r1 - r0, self.nslots_out),
-                                   wide_dtype(self.chunk_bytes))
-                np.take(chunks, self.lane[r0:r1], out=fanned)
-                ctx.system.put_rows(
-                    ids[r0:r1], self.dst_offset,
-                    fanned.view(np.uint8).reshape(r1 - r0, row_bytes))
+            units.extend((ids, chunks, r0, r1) for r0, r1 in bands)
+
+        def run_unit(scratch: ScratchPool, unit) -> None:
+            ids, chunks, r0, r1 = unit
+            fanned = scratch.pong((r1 - r0, self.nslots_out),
+                                  wide_dtype(self.chunk_bytes))
+            np.take(chunks, self.lane[r0:r1], out=fanned)
+            system.put_rows(
+                ids[r0:r1], self.dst_offset,
+                fanned.view(np.uint8).reshape(r1 - r0, row_bytes))
+
+        _run_bands(units, pool, workers, run_unit)
         ctx.tiles += len(bands) * len(self.group_ids)
         self._charge(ctx)
 
@@ -685,8 +761,8 @@ class CommProgram:
     def replay(self, system: DimmSystem,
                payloads: Mapping[int, np.ndarray] | None = None, *,
                tile_bytes: int | None = None,
-               pool: ScratchPool | None = None
-               ) -> tuple[CostLedger, ExecContext]:
+               pool: ScratchPool | None = None,
+               workers=None) -> tuple[CostLedger, ExecContext]:
         """Execute the compiled ops; returns (ledger, context).
 
         Bit-identical to interpreting the source plan: same memory
@@ -700,6 +776,11 @@ class CommProgram:
         :meth:`CostLedger.pipelined` -- the memory state and host
         outputs stay bit-identical to the untiled replay and the
         interpreted oracle; only the modelled overlap credit differs.
+
+        Pass ``workers`` (an engine worker pool) to fan each op's
+        independent row bands across host threads; ops still replay in
+        order, the tile count, pipeline depth, ledger and every result
+        byte are unchanged -- parallelism is wall-clock only.
         """
         ledger = self.priced(system)
         ctx = ExecContext(system=system)
@@ -716,9 +797,11 @@ class CommProgram:
         for op in self.ops:
             pool.release()
             before = ctx.tiles
-            op.execute_streamed(ctx, payloads, pool, tile_bytes)
+            op.execute_streamed(ctx, payloads, pool, tile_bytes, workers)
             depth = max(depth, ctx.tiles - before)
         ctx.peak_scratch_bytes = pool.peak_bytes
+        if workers is not None:
+            ctx.peak_scratch_bytes += workers.scratch_peak_bytes
         return ledger.pipelined(depth), ctx
 
     def describe(self) -> str:

@@ -14,9 +14,11 @@ session; many concurrent callers should go through
 
 from .cache import CachePartition, PartitionKey, PlanCache, bind_payloads
 from .communicator import Communicator, shared_communicator
+from .parallel import WorkerPool
 from .request import CommRequest, NormalizedRequest, PlanKey
 from .result import BatchResult, CommFuture, CommResult
-from .scheduler import WaveCost, price_waves, schedule_waves
+from .scheduler import (WaveCost, assert_wave_safety, price_waves,
+                        schedule_waves)
 from .session_config import EXECUTION_MODES, SessionConfig
 from .stats import EngineStats
 
@@ -24,6 +26,7 @@ __all__ = [
     "Communicator", "CommRequest", "CommResult", "CommFuture",
     "BatchResult", "PlanCache", "CachePartition", "PartitionKey",
     "PlanKey", "EngineStats", "SessionConfig", "EXECUTION_MODES",
-    "NormalizedRequest", "WaveCost", "bind_payloads",
-    "schedule_waves", "price_waves", "shared_communicator",
+    "NormalizedRequest", "WaveCost", "WorkerPool", "bind_payloads",
+    "schedule_waves", "price_waves", "assert_wave_safety",
+    "shared_communicator",
 ]

@@ -69,6 +69,7 @@ from ..hw.arena import ScratchPool
 from ..hw.timing import CostLedger
 from ..reliability import FaultInjector, RELIABLE, ReliabilityPolicy
 from .cache import DEFAULT_MAXSIZE, PlanCache, bind_payloads
+from .parallel import WorkerPool
 from .request import CommRequest, NormalizedRequest
 from .result import BatchResult, CommFuture, CommResult, reduced_vector
 from .scheduler import price_waves, schedule_waves
@@ -147,10 +148,16 @@ class Communicator:
         #: Session-owned streaming scratch, reused across every call so
         #: steady-state streamed replay performs zero heap allocations.
         self._scratch = ScratchPool() if self.stream_tile_bytes else None
+        #: Session-owned worker pool (None = serial, the default);
+        #: runs hazard-independent wave members and streamed row bands
+        #: concurrently.  See docs/performance.md "Parallel replay".
+        self._pool = (WorkerPool(session_config.parallel_workers)
+                      if session_config.parallel_workers > 1 else None)
         if session_config.backend is not None:
             manager.system.set_backend(session_config.backend)
         self.cache = PlanCache(maxsize=session_config.cache_size)
-        self.stats = EngineStats()
+        self.stats = EngineStats(
+            parallel_workers=session_config.parallel_workers)
         reliability_policy = session_config.reliability
         if session_config.fault_injector is not None:
             manager.system.attach_fault_injector(
@@ -257,10 +264,64 @@ class Communicator:
                     "policy (retry/rewind interprets steps); use "
                     "execution='auto'")
             return self._run_reliable(req, functional)
+        resolved = self._resolve(req)
+        result, replay_s = self._execute_resolved(req, resolved, functional)
+        self._record_execution(req, result, replay_s)
+        return result
+
+    def _resolve(self, req: NormalizedRequest
+                 ) -> tuple[CommPlan, CommProgram | None, bool]:
+        """Serial phase: cached plan, compiled program and hit flag.
+
+        All plan-cache traffic (LRU reordering, hit counters,
+        partition stats) happens here on the submitting thread; the
+        parallel wave executor resolves every member *before*
+        dispatching, so worker threads never touch the cache and the
+        counters are identical at every worker count.
+        """
         plan, hit = self._compile(req)
         program = self._program_for(req, plan)
+        return plan, program, hit
+
+    def _replay_pool(self) -> ScratchPool | None:
+        """The streaming scratch the calling thread must gather through.
+
+        Worker threads (parallel wave members) use their private pool;
+        the submitting thread keeps the session-owned one.
+        """
+        if self._pool is not None and self._pool.in_worker:
+            return self._pool.scratch()
+        return self._scratch
+
+    def _band_workers(self) -> WorkerPool | None:
+        """The pool for band-parallel streamed replay, if applicable.
+
+        None inside a worker thread: a wave member occupying a bounded
+        executor slot must not queue band tasks behind itself (its
+        bands run inline instead).
+        """
+        pool = self._pool
+        if pool is None or pool.in_worker:
+            return None
+        return pool
+
+    def _execute_resolved(self, req: NormalizedRequest,
+                          resolved: tuple[CommPlan, CommProgram | None, bool],
+                          functional: bool
+                          ) -> tuple[CommResult, float | None]:
+        """Execute a resolved request; returns (result, replay seconds).
+
+        Touches no session-global mutable state (stats, caches), so
+        hazard-independent requests may run this concurrently: plans,
+        programs and index tables are shared read-only, scratch comes
+        from :meth:`_replay_pool`, and the requests' MRAM write
+        footprints are disjoint by wave construction.  ``replay
+        seconds`` is None unless a compiled functional replay ran.
+        """
+        plan, program, hit = resolved
         if program is not None:
             tile_bytes = self.stream_tile_bytes
+            replay_s = None
             if functional:
                 raw = (_payload_bytes(req.payloads)
                        if req.payloads is not None else None)
@@ -268,10 +329,9 @@ class Communicator:
                 ledger, ctx = program.replay(self.manager.system,
                                              payloads=raw,
                                              tile_bytes=tile_bytes,
-                                             pool=self._scratch)
-                self.stats.record_replay(
-                    perf_counter() - start, tiles=ctx.tiles,
-                    peak_scratch_bytes=ctx.peak_scratch_bytes)
+                                             pool=self._replay_pool(),
+                                             workers=self._band_workers())
+                replay_s = perf_counter() - start
                 tiles = ctx.tiles
                 peak_scratch = ctx.peak_scratch_bytes
             else:
@@ -285,7 +345,6 @@ class Communicator:
                     ledger = ledger.pipelined(
                         program.pipeline_depth(tile_bytes))
             host_outputs = self._host_outputs(req, ctx)
-            self.stats.record_call(req.primitive, plan, ledger, cached=hit)
             return CommResult(plan=plan, ledger=ledger,
                               host_outputs=host_outputs, cached=hit,
                               simd=ctx.simd if ctx is not None else None,
@@ -293,16 +352,32 @@ class Communicator:
                               else 0,
                               execution=("streamed" if tile_bytes is not None
                                          else "compiled"),
-                              tiles=tiles, peak_scratch_bytes=peak_scratch)
+                              tiles=tiles,
+                              peak_scratch_bytes=peak_scratch), replay_s
         bound = bind_payloads(plan, req.payloads if functional else None)
         ledger, ctx = bound.run(self.manager.system, functional=functional)
         host_outputs = self._host_outputs(req, ctx)
-        self.stats.record_call(req.primitive, plan, ledger, cached=hit)
         return CommResult(plan=bound, ledger=ledger,
                           host_outputs=host_outputs, cached=hit,
                           simd=ctx.simd if ctx is not None else None,
                           wram_tiles=ctx.wram_tiles if ctx is not None
-                          else 0)
+                          else 0), None
+
+    def _record_execution(self, req: NormalizedRequest, result: CommResult,
+                          replay_s: float | None) -> None:
+        """Serial phase: stats recording, in submission order.
+
+        Kept off the worker threads so float accumulation order (and
+        therefore every stats byte) is identical at any worker count.
+        """
+        if replay_s is not None:
+            self.stats.record_replay(
+                replay_s, tiles=result.tiles,
+                peak_scratch_bytes=result.peak_scratch_bytes)
+        self.stats.record_call(req.primitive, result.plan, result.ledger,
+                               cached=result.cached)
+        if self._pool is not None:
+            self.stats.worker_bands = self._pool.band_counts()
 
     def _host_outputs(self, req: NormalizedRequest,
                       ctx) -> dict[int, np.ndarray] | None:
@@ -492,8 +567,15 @@ class Communicator:
         futures: list[CommFuture] = [None] * len(normalized)  # type: ignore
         ledgers: list[CostLedger] = [None] * len(normalized)  # type: ignore
         for w, indices in enumerate(waves):
-            for i in indices:
-                result = self._run(normalized[i], run_functional)
+            if self._wave_parallelizable(indices):
+                results = self._execute_wave_parallel(
+                    normalized, indices, run_functional)
+            else:
+                if self._pool is not None and len(indices) > 1:
+                    self.stats.parallel_fallbacks += 1
+                results = [self._run(normalized[i], run_functional)
+                           for i in indices]
+            for i, result in zip(indices, results):
                 ledgers[i] = result.ledger
                 futures[i] = CommFuture(index=i,
                                         label=normalized[i].describe(),
@@ -509,6 +591,72 @@ class Communicator:
         return BatchResult(futures=futures, ledger=batch_ledger,
                            serial_ledger=serial, waves=waves,
                            wave_costs=wave_costs)
+
+    # ------------------------------------------------------------------
+    # Parallel wave execution
+    # ------------------------------------------------------------------
+    def _wave_parallelizable(self, indices: Sequence[int]) -> bool:
+        """Whether a wave's members may execute on the worker pool.
+
+        Requires a pool, more than one member, and no fault machinery:
+        the injector's RNG is stateful (concurrent draws would make
+        fault schedules nondeterministic) and retry/rewind assumes
+        exclusive MRAM access, so such sessions always run serially
+        (counted in ``EngineStats.parallel_fallbacks``).
+        """
+        return (self._pool is not None and len(indices) > 1
+                and self.reliability is None
+                and self.manager.system.fault_injector is None)
+
+    def _execute_wave_parallel(self, normalized: Sequence[NormalizedRequest],
+                               indices: Sequence[int],
+                               functional: bool) -> list[CommResult]:
+        """Run one hazard-free wave's members across the worker pool.
+
+        Three phases keep every observable bit identical to the serial
+        path: (1) *serial resolve* -- payload validation, plan-cache
+        lookups and program compilation happen on this thread in
+        submission order; (2) *parallel execute* -- members run
+        concurrently against pre-materialized PEs, writing provably
+        disjoint MRAM footprints (see ``scheduler.assert_wave_safety``
+        for the invariant); (3) *serial record* -- stats accumulate in
+        submission order, so float sums never depend on completion
+        interleaving.
+        """
+        reqs = [normalized[i] for i in indices]
+        resolved = []
+        for req in reqs:
+            if functional and req.primitive in ("scatter", "broadcast") \
+                    and req.payloads is None:
+                raise CollectiveError(
+                    f"functional {req.primitive} needs payloads")
+            resolved.append(self._resolve(req))
+        # Touch every member PE now: concurrent execution must never
+        # trigger an arena growth or a lazy per-PE materialization.
+        system = self.manager.system
+        for req in reqs:
+            system.materialize(member_pes(self.manager, req.dims))
+
+        def member_task(req: NormalizedRequest, res):
+            def run() -> tuple[CommResult, float | None, float]:
+                start = perf_counter()
+                result, replay_s = self._execute_resolved(req, res,
+                                                          functional)
+                return result, replay_s, perf_counter() - start
+            return run
+
+        start = perf_counter()
+        outs = self._pool.run([member_task(req, res)
+                               for req, res in zip(reqs, resolved)])
+        wall = perf_counter() - start
+        results = []
+        task_seconds = 0.0
+        for req, (result, replay_s, seconds) in zip(reqs, outs):
+            self._record_execution(req, result, replay_s)
+            task_seconds += seconds
+            results.append(result)
+        self.stats.record_parallel_wave(len(reqs), wall, task_seconds)
+        return results
 
     # ------------------------------------------------------------------
     # The eight primitives (Figure 10, keyword-only buffer arguments)
@@ -614,13 +762,32 @@ class Communicator:
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         """Zero the instrumentation counters (cache contents persist)."""
-        self.stats = EngineStats()
+        self.stats = EngineStats(
+            parallel_workers=self.session_config.parallel_workers)
+
+    @property
+    def parallel_workers(self) -> int:
+        """Configured worker count (1 = serial execution)."""
+        return self.session_config.parallel_workers
+
+    def close(self) -> None:
+        """Join the session's worker threads, if any (idempotent).
+
+        Optional: an unclosed pool's daemon-less threads are joined at
+        interpreter shutdown anyway, but explicit close makes teardown
+        deterministic in tests and long-lived services.
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None  # later calls run serially
 
     def describe(self) -> str:
         """One-line session summary."""
+        workers = self.session_config.parallel_workers
+        suffix = f", {workers} workers" if workers > 1 else ""
         return (f"Communicator({self.manager.shape} cube, "
                 f"config {self.config.label}, {len(self.cache)} cached "
-                f"plans, {self.stats.calls} calls)")
+                f"plans, {self.stats.calls} calls{suffix})")
 
 
 def shared_communicator(manager: HypercubeManager) -> Communicator:

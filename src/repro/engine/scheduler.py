@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..errors import CollectiveError
 from ..hw.timing import CostLedger
 from .request import NormalizedRequest
 
@@ -47,6 +48,30 @@ def schedule_waves(requests: Sequence[NormalizedRequest]) -> list[list[int]]:
     for i, wave in enumerate(wave_of):
         waves[wave].append(i)
     return waves
+
+
+def assert_wave_safety(requests: Sequence[NormalizedRequest],
+                       waves: Sequence[Sequence[int]]) -> None:
+    """Verify every same-wave pair is hazard-free (raises otherwise).
+
+    This is the invariant the parallel engine executes on: two
+    requests sharing a wave have no RAW/WAR/WAW overlap on any MRAM
+    byte interval (footprints are PE-set-blind, so the check is
+    conservative -- intervals are treated as conflicting even when the
+    requests' PE sets are disjoint), which makes their concurrent
+    writes land in provably disjoint byte ranges.  The concurrency
+    test battery property-checks :func:`schedule_waves` through this;
+    it is O(n^2) per wave and not on any hot path.
+    """
+    footprints = [req.footprint() for req in requests]
+    for w, indices in enumerate(waves):
+        for a, i in enumerate(indices):
+            for j in indices[a + 1:]:
+                if footprints[i].conflicts_with(footprints[j]):
+                    raise CollectiveError(
+                        f"wave {w} schedules conflicting requests "
+                        f"{i} ({requests[i].describe()}) and "
+                        f"{j} ({requests[j].describe()}) concurrently")
 
 
 @dataclass

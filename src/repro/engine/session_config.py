@@ -64,6 +64,18 @@ class SessionConfig:
             memory is bounded to O(tile) (``docs/performance.md``).
             None (default) replays unstreamed.  Requires a
             compiled-capable execution mode.
+        parallel_workers: Host threads replaying independent work
+            concurrently (default 1 = serial, today's behavior).
+            With N > 1 the session owns a
+            :class:`~repro.engine.parallel.WorkerPool`: hazard-free
+            requests of one ``submit()`` wave run concurrently, and
+            streamed replays fan their row bands across the workers,
+            each with private scratch.  Results, ledgers and counters
+            are bit-identical at every worker count -- only wall-clock
+            changes.  Sessions with a fault injector or reliability
+            policy fall back to serial execution (the injector's RNG
+            is stateful), counted in ``EngineStats.parallel_fallbacks``
+            (``docs/performance.md``).
     """
 
     config: OptConfig = FULL
@@ -74,6 +86,7 @@ class SessionConfig:
     backend: str | None = None
     execution: str = "auto"
     stream_tile_bytes: int | None = None
+    parallel_workers: int = 1
 
     def __post_init__(self) -> None:
         """Validate the combination once, at construction."""
@@ -90,6 +103,11 @@ class SessionConfig:
                 raise CollectiveError(
                     "stream_tile_bytes streams compiled replays; use "
                     "execution='auto' or 'compiled'")
+        if not isinstance(self.parallel_workers, int) \
+                or self.parallel_workers < 1:
+            raise CollectiveError(
+                f"parallel_workers must be an int >= 1, got "
+                f"{self.parallel_workers!r}")
         if self.backend is not None \
                 and self.backend not in ("scalar", "vectorized"):
             raise CollectiveError(

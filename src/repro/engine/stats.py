@@ -59,6 +59,22 @@ class EngineStats:
     peak_scratch_bytes: int = 0
     batches: int = 0
     waves: int = 0
+    #: Worker threads the session was configured with (1 = serial).
+    parallel_workers: int = 1
+    #: Waves whose members actually executed concurrently.
+    parallel_waves: int = 0
+    #: Requests executed via the worker pool (across parallel waves).
+    parallel_requests: int = 0
+    #: Multi-request waves a pooled session ran serially anyway
+    #: (fault injector attached / reliability policy active).
+    parallel_fallbacks: int = 0
+    #: Wall-clock seconds parallel waves took vs. their members' summed
+    #: task seconds; the ratio is :attr:`parallel_speedup`.
+    parallel_wall_seconds: float = 0.0
+    parallel_task_seconds: float = 0.0
+    #: worker label -> streamed bands executed on that worker
+    #: (mirrors the session pool's lifetime counters).
+    worker_bands: dict[str, int] = field(default_factory=dict)
     bytes_moved: int = 0
     modelled_seconds: float = 0.0
     overlap_saved_seconds: float = 0.0
@@ -144,6 +160,28 @@ class EngineStats:
         self.overlap_saved_seconds += max(0.0,
                                           serial_seconds - overlapped_seconds)
 
+    def record_parallel_wave(self, members: int, wall_seconds: float,
+                             task_seconds: float) -> None:
+        """Account one wave executed across the worker pool.
+
+        ``wall_seconds`` is the wave's elapsed time, ``task_seconds``
+        the sum of its members' individual execution times -- their
+        ratio is the realized (wall-clock-only) parallel speedup.
+        Recorded serially by the submitting thread, so these floats
+        accumulate in deterministic order.
+        """
+        self.parallel_waves += 1
+        self.parallel_requests += members
+        self.parallel_wall_seconds += wall_seconds
+        self.parallel_task_seconds += task_seconds
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Realized wall-clock speedup of pooled waves (1.0 when none)."""
+        if self.parallel_wall_seconds <= 0.0:
+            return 1.0
+        return self.parallel_task_seconds / self.parallel_wall_seconds
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -165,6 +203,13 @@ class EngineStats:
             "peak_scratch_bytes": self.peak_scratch_bytes,
             "batches": self.batches,
             "waves": self.waves,
+            "parallel_workers": self.parallel_workers,
+            "parallel_waves": self.parallel_waves,
+            "parallel_requests": self.parallel_requests,
+            "parallel_fallbacks": self.parallel_fallbacks,
+            "parallel_wall_seconds": self.parallel_wall_seconds,
+            "parallel_task_seconds": self.parallel_task_seconds,
+            "worker_bands": dict(self.worker_bands),
             "bytes_moved": self.bytes_moved,
             "modelled_seconds": self.modelled_seconds,
             "overlap_saved_seconds": self.overlap_saved_seconds,
@@ -202,6 +247,20 @@ class EngineStats:
                 lines.append(f"    tiles replayed  {self.tiles_replayed}")
                 lines.append(f"    peak scratch    "
                              f"{self.peak_scratch_bytes} B")
+        if self.parallel_workers > 1 or self.parallel_waves \
+                or self.parallel_fallbacks:
+            lines.append("  parallel replay:")
+            lines.append(f"    workers         {self.parallel_workers}")
+            lines.append(f"    parallel waves  {self.parallel_waves} "
+                         f"({self.parallel_requests} requests)")
+            lines.append(f"    wall / task     "
+                         f"{self.parallel_wall_seconds * 1e3:.3f} / "
+                         f"{self.parallel_task_seconds * 1e3:.3f} ms "
+                         f"({self.parallel_speedup:.2f}x)")
+            lines.append(f"    fallbacks       {self.parallel_fallbacks}")
+            for label in sorted(self.worker_bands):
+                lines.append(f"    {label:<15s} "
+                             f"{self.worker_bands[label]} bands")
         if self.plan_partitions:
             lines.append("  plan-cache partitions:")
             for tenant in sorted(self.plan_partitions):

@@ -18,9 +18,22 @@ analytic (cost-only) runs that touch nothing still allocate nothing,
 and the zero-fill of fresh rows is lazy at the OS level (calloc pages).
 Accessors always re-derive views from the current backing array, so a
 growth-triggered reallocation never leaves a stale alias behind.
+
+Concurrency contract (the parallel replay engine): writes from
+multiple threads are safe exactly when they target **disjoint byte
+ranges** of already-materialized rows -- disjoint row bands of one
+streamed op, or the disjoint footprints of hazard-independent wave
+members.  The engine pre-materializes every member PE before
+dispatching concurrent work, so the backing array never reallocates
+mid-flight; the internal lock below makes the growth and flat-view
+builds themselves safe against a racing first touch, but it does NOT
+serialize data transfers -- overlapping concurrent writes stay the
+caller's bug.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -144,6 +157,10 @@ class MemoryArena:
         #: re-base) invalidates them instead of leaving stale rows.
         self.version = 0
         self._flat_views: dict[int, np.ndarray] = {}
+        # Guards growth/re-base and flat-view construction against a
+        # concurrent first touch from worker threads; plain transfers
+        # into materialized rows never take it.
+        self._grow_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Row accounting
@@ -170,27 +187,37 @@ class MemoryArena:
         return ids
 
     def _ensure(self, lo: int, hi: int) -> None:
-        """Grow (and possibly re-base) the backing array to cover [lo, hi)."""
+        """Grow (and possibly re-base) the backing array to cover [lo, hi).
+
+        Double-checked under the growth lock: the in-bounds fast path
+        stays lock-free, and two threads racing a first touch build
+        the grown array once (the loser re-checks and returns).
+        """
         nrows = self._data.shape[0]
         if nrows and lo >= self._base and hi <= self._base + nrows:
             return
         if lo < 0 or hi > self.max_rows:
             raise AllocationError(
                 f"arena rows [{lo}, {hi}) outside [0, {self.max_rows})")
-        new_base = min(lo, self._base) if nrows else lo
-        new_end = max(hi, self._base + nrows) if nrows else hi
-        # Geometric headroom upward, so touching PEs one by one costs
-        # O(log n) reallocations instead of O(n).
-        grown = max(new_end - new_base, 2 * nrows)
-        new_end = max(new_end, min(new_base + grown, self.max_rows))
-        fresh = np.zeros((new_end - new_base, self.mram_bytes), dtype=np.uint8)
-        if nrows:
-            at = self._base - new_base
-            fresh[at:at + nrows] = self._data
-        self._base = new_base
-        self._data = fresh
-        self.version += 1
-        self._flat_views = {}
+        with self._grow_lock:
+            nrows = self._data.shape[0]
+            if nrows and lo >= self._base and hi <= self._base + nrows:
+                return
+            new_base = min(lo, self._base) if nrows else lo
+            new_end = max(hi, self._base + nrows) if nrows else hi
+            # Geometric headroom upward, so touching PEs one by one costs
+            # O(log n) reallocations instead of O(n).
+            grown = max(new_end - new_base, 2 * nrows)
+            new_end = max(new_end, min(new_base + grown, self.max_rows))
+            fresh = np.zeros((new_end - new_base, self.mram_bytes),
+                             dtype=np.uint8)
+            if nrows:
+                at = self._base - new_base
+                fresh[at:at + nrows] = self._data
+            self._base = new_base
+            self._data = fresh
+            self.version += 1
+            self._flat_views = {}
 
     def _rows(self, ids: np.ndarray) -> np.ndarray:
         return ids - self._base
@@ -289,12 +316,17 @@ class MemoryArena:
         """The whole backing array as one flat run of wide elements.
 
         Cached per width and rebuilt after growth, so steady-state
-        band gathers create no new array objects.
+        band gathers create no new array objects.  Built under the
+        growth lock so concurrent band workers hitting a cold cache
+        share one read-consistent view.
         """
         view = self._flat_views.get(width)
         if view is None:
-            view = self._data.reshape(-1).view(wide_dtype(width))
-            self._flat_views[width] = view
+            with self._grow_lock:
+                view = self._flat_views.get(width)
+                if view is None:
+                    view = self._data.reshape(-1).view(wide_dtype(width))
+                    self._flat_views[width] = view
         return view
 
     def take_band(self, table: np.ndarray, width: int, r0: int, r1: int,

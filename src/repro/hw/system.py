@@ -156,6 +156,22 @@ class DimmSystem:
             self._memories[pe_id] = mem
         return mem
 
+    def materialize(self, pe_ids: Sequence[int]) -> None:
+        """Pre-create backing state for ``pe_ids`` (parallel-safe prep).
+
+        The parallel engine calls this serially before dispatching a
+        wave's members to worker threads: with every member PE's row
+        (vectorized) or ``PeMemory`` (scalar) already live, concurrent
+        execution never triggers an arena reallocation or a
+        ``_memories`` dict insert mid-wave -- workers only read and
+        write disjoint, already-materialized byte ranges.
+        """
+        if self.vectorized:
+            self._ensure_arena().touch(self._lane_ids(pe_ids))
+            return
+        for pe in pe_ids:
+            self.memory(int(pe))
+
     @property
     def touched_pes(self) -> int:
         """How many PEs have materialized memories (test/debug aid)."""

@@ -204,6 +204,18 @@ class CollectiveServer:
         return len(self._queue)
 
     @property
+    def parallel_workers(self) -> int:
+        """Worker threads the owned session replays with (1 = serial).
+
+        Batches drain through ``Communicator.submit``, so a pooled
+        session (``SessionConfig(parallel_workers=N)``) automatically
+        executes each batch's hazard-free wave members concurrently --
+        the server's hazard-aware batch filling already builds batches
+        that form one fully-concurrent wave.
+        """
+        return self.comm.parallel_workers
+
+    @property
     def admission_stats(self):
         """The admission queue's lifetime counters."""
         return self._queue.stats
@@ -427,9 +439,11 @@ class CollectiveServer:
 
     def describe(self) -> str:
         """One-line server summary."""
+        workers = self.parallel_workers
+        suffix = f", {workers} workers" if workers > 1 else ""
         return (f"CollectiveServer({len(self._sessions)} sessions, "
                 f"{self.pending} queued, {self.stats.dispatched} dispatched, "
-                f"clock {self.stats.clock * 1e3:.3f} ms)")
+                f"clock {self.stats.clock * 1e3:.3f} ms{suffix})")
 
 
 def plan_payload_bytes_estimate(req: NormalizedRequest) -> int:

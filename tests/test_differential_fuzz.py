@@ -55,18 +55,21 @@ def _random_case(rng: np.random.Generator) -> dict:
 def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
              dtype, chunk: int, config, injector=None,
              backend: str = "scalar", execution: str = "auto",
-             tile: int | None = None):
+             tile: int | None = None, workers: int = 1):
     """One randomized collective, checked bit-exactly against reference.
 
     Returns the engine's CommResult (so fault sweeps can inspect
     ``attempts``).  ``tile`` streams compiled replays through
-    ``stream_tile_bytes``-sized scratch bands.
+    ``stream_tile_bytes``-sized scratch bands; ``workers`` > 1 replays
+    them band-parallel across a session worker pool (which must stay
+    inside the same oracle).
     """
     manager = make_manager(shape)
     system = manager.system
     comm = Communicator(manager, SessionConfig(
         config=config, fault_injector=injector, backend=backend,
-        execution=execution, stream_tile_bytes=tile))
+        execution=execution, stream_tile_bytes=tile,
+        parallel_workers=workers))
     bitmap = _random_bitmap(rng, manager.ndim)
     groups = groups_of(manager, bitmap)
     n = groups[0].size
@@ -138,14 +141,15 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
 
 def _sweep(seed: int, cases: int, injector_factory=None,
            backend: str = "scalar", execution: str = "auto",
-           tile: int | None = None) -> list:
+           tile: int | None = None, workers: int = 1) -> list:
     rng = np.random.default_rng(seed)
     results = []
     for _ in range(cases):
         case = _random_case(rng)
         injector = injector_factory() if injector_factory else None
         results.append(run_case(rng, injector=injector, backend=backend,
-                                execution=execution, tile=tile, **case))
+                                execution=execution, tile=tile,
+                                workers=workers, **case))
     return results
 
 
@@ -195,6 +199,39 @@ class TestStreamedSweep:
                               tile=tile)
             assert result.execution == "streamed"
             assert result.tiles >= 1
+
+
+class TestParallelSweep:
+    """Worker pools must never leave the oracle, faulted or not."""
+
+    @pytest.mark.parametrize("workers", [2, 7], ids=lambda w: f"w{w}")
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_streamed_parallel_matches_reference(self, backend, workers):
+        # Same seed as the streamed sweep: identical cases, now with
+        # band-parallel replay -- results must stay bit-exact.
+        results = _sweep(seed=909, cases=16, backend=backend,
+                         execution="compiled", tile=33, workers=workers)
+        assert all(r.execution == "streamed" for r in results)
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_faulted_parallel_falls_back_to_serial(self, backend):
+        # A pooled session with an injector attached must take the
+        # serial fallback (the injector's RNG is stateful) and still
+        # retry to bit-exactness.
+        counter = [0]
+
+        def injector_factory():
+            counter[0] += 1
+            return FaultInjector(seed=counter[0],
+                                 bit_flip_rate=0.004, drop_rate=0.003,
+                                 timeout_rate=0.003)
+
+        results = _sweep(seed=77, cases=16,
+                         injector_factory=injector_factory,
+                         backend=backend, workers=4)
+        assert all(r is not None for r in results)
+        assert any(r.attempts > 1 for r in results), \
+            "parallel faulted sweep never exercised a retry"
 
 
 class TestFaultedSweep:

@@ -1,0 +1,154 @@
+"""Property tests for the parallel engine's safety invariants.
+
+Two invariants make thread parallelism correct by construction, and
+both are checked here over randomized inputs (Hypothesis):
+
+* ``band_ranges`` partitions the output rows: every row is covered by
+  exactly one band, in order, so concurrent band gathers write
+  provably disjoint byte ranges of the output buffer.
+* ``schedule_waves`` never co-schedules two requests whose MRAM
+  footprints overlap: every same-wave pair has disjoint write
+  intervals (checked both through ``assert_wave_safety`` and by a
+  direct interval-overlap oracle here).
+
+Skipped cleanly when Hypothesis is unavailable.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+from itertools import combinations
+
+from repro import FULL
+from repro.core.collectives.program import band_ranges
+from repro.dtypes import INT64, SUM
+from repro.engine import assert_wave_safety, schedule_waves
+from repro.engine.request import NormalizedRequest
+
+PRIMITIVES = ("alltoall", "allgather", "reduce_scatter", "allreduce",
+              "gather", "scatter", "reduce", "broadcast")
+
+
+# ----------------------------------------------------------------------
+# Band partitioning
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(rows=st.integers(min_value=0, max_value=400),
+       row_bytes=st.integers(min_value=1, max_value=1 << 12),
+       tile_bytes=st.integers(min_value=1, max_value=1 << 16))
+def test_band_ranges_partition_rows_exactly_once(rows, row_bytes,
+                                                 tile_bytes):
+    bands = band_ranges(rows, row_bytes, tile_bytes)
+    if rows == 0:
+        assert bands == []
+        return
+    # Contiguous, ascending, non-empty: together they tile [0, rows)
+    # with no gap and no overlap -- each output row is written by
+    # exactly one band.
+    assert bands[0][0] == 0
+    assert bands[-1][1] == rows
+    for (a0, a1), (b0, b1) in zip(bands, bands[1:]):
+        assert a0 < a1
+        assert a1 == b0
+    assert bands[-1][0] < bands[-1][1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows=st.integers(min_value=1, max_value=400),
+       row_bytes=st.integers(min_value=1, max_value=1 << 12),
+       tile_bytes=st.integers(min_value=1, max_value=1 << 16))
+def test_band_heights_respect_tile_budget(rows, row_bytes, tile_bytes):
+    bands = band_ranges(rows, row_bytes, tile_bytes)
+    height = max(1, tile_bytes // row_bytes)
+    for i, (r0, r1) in enumerate(bands):
+        if i < len(bands) - 1:
+            assert r1 - r0 == min(rows, height)
+        else:
+            assert 0 < r1 - r0 <= min(rows, height)
+    # A band exceeds the byte budget only in the clamped single-row
+    # case (one row is the smallest possible unit of work).
+    for r0, r1 in bands:
+        assert (r1 - r0) * row_bytes <= max(tile_bytes, row_bytes)
+
+
+# ----------------------------------------------------------------------
+# Hazard-wave scheduling
+# ----------------------------------------------------------------------
+def _request(primitive, src, dst, size):
+    return NormalizedRequest(
+        primitive=primitive, dims=(0,), total_data_size=size,
+        src_offset=src, dst_offset=dst, dtype=INT64, op=SUM,
+        config=FULL, group_size=4)
+
+
+request_strategy = st.builds(
+    _request,
+    st.sampled_from(PRIMITIVES),
+    st.integers(min_value=0, max_value=64).map(lambda k: 8 * k),
+    st.integers(min_value=0, max_value=64).map(lambda k: 8 * k),
+    st.integers(min_value=1, max_value=32).map(lambda k: 8 * k))
+
+
+def _spans_disjoint(a, b):
+    (o1, n1), (o2, n2) = a, b
+    return o1 + n1 <= o2 or o2 + n2 <= o1
+
+
+@settings(max_examples=200, deadline=None)
+@given(requests=st.lists(request_strategy, min_size=1, max_size=10))
+def test_scheduled_waves_are_hazard_free(requests):
+    waves = schedule_waves(requests)
+    # Every request lands in exactly one wave...
+    scheduled = sorted(i for wave in waves for i in wave)
+    assert scheduled == list(range(len(requests)))
+    # ...and the engine-side checker agrees the schedule is safe.
+    assert_wave_safety(requests, waves)
+    # Direct oracle: same-wave pairs have pairwise-disjoint write
+    # intervals (so their concurrent writes can never collide) and
+    # neither reads what the other writes.
+    footprints = [req.footprint() for req in requests]
+    for wave in waves:
+        for i, j in combinations(wave, 2):
+            for wa in footprints[i].writes:
+                for span in footprints[j].writes + footprints[j].reads:
+                    assert _spans_disjoint(wa, span)
+            for wb in footprints[j].writes:
+                for span in footprints[i].reads:
+                    assert _spans_disjoint(wb, span)
+
+
+@settings(max_examples=100, deadline=None)
+@given(requests=st.lists(request_strategy, min_size=2, max_size=8),
+       data=st.data())
+def test_wave_safety_checker_catches_conflicts(requests, data):
+    # Force a known conflict into one wave and the checker must raise.
+    from repro.errors import CollectiveError
+    i = data.draw(st.integers(min_value=0, max_value=len(requests) - 2))
+    requests = list(requests)
+    # Two alltoalls onto the same dst interval: a guaranteed WAW
+    # conflict (identical read-only footprints would be safe to share).
+    clash = _request("alltoall", requests[i].src_offset,
+                     requests[i].dst_offset, requests[i].total_data_size)
+    requests[i] = clash
+    requests[i + 1] = clash
+    waves = [[i, i + 1]]
+    with pytest.raises(CollectiveError, match="conflicting requests"):
+        assert_wave_safety(requests, waves)
+
+
+@settings(max_examples=100, deadline=None)
+@given(requests=st.lists(request_strategy, min_size=1, max_size=10))
+def test_waves_preserve_submission_order(requests):
+    waves = schedule_waves(requests)
+    for wave in waves:
+        assert wave == sorted(wave)
+    # A request's wave never precedes that of an earlier conflicting
+    # request (program order is preserved per hazard chain).
+    footprints = [req.footprint() for req in requests]
+    wave_of = {i: w for w, wave in enumerate(waves) for i in wave}
+    for j in range(len(requests)):
+        for i in range(j):
+            if footprints[i].conflicts_with(footprints[j]):
+                assert wave_of[i] < wave_of[j]

@@ -46,7 +46,7 @@ def random_bitmap(rng, ndim):
             return "".join(str(int(b)) for b in bits)
 
 
-def run_one(rng, case_seed, fault_rate):
+def run_one(rng, case_seed, fault_rate, workers=1):
     """Run one random collective; returns its CommResult."""
     primitive = PRIMITIVES[rng.integers(len(PRIMITIVES))]
     shape = SHAPES[rng.integers(len(SHAPES))]
@@ -62,7 +62,8 @@ def run_one(rng, case_seed, fault_rate):
         injector = FaultInjector(seed=case_seed, bit_flip_rate=per,
                                  drop_rate=per, timeout_rate=per)
     comm = Communicator(manager,
-                        SessionConfig(config=config, fault_injector=injector))
+                        SessionConfig(config=config, fault_injector=injector,
+                                      parallel_workers=workers))
     bitmap = random_bitmap(rng, manager.ndim)
     groups = slice_groups(manager, bitmap)
     n = groups[0].size
@@ -137,6 +138,11 @@ def main(argv=None):
     parser.add_argument("--fault-rate", type=float, default=0.01,
                         help="total transient fault rate per operation "
                         "(0 disables injection; default 0.01)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel_workers per session; sessions "
+                        "with fault injection fall back to serial wave "
+                        "execution but still band-parallelize streamed "
+                        "replay (default 1)")
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(args.seed)
@@ -146,7 +152,8 @@ def main(argv=None):
         cases += 1
         try:
             result = run_one(rng, case_seed=args.seed + cases,
-                             fault_rate=args.fault_rate)
+                             fault_rate=args.fault_rate,
+                             workers=args.workers)
         except Exception as exc:  # mismatch or unexpected engine error
             print(f"FAIL at case {cases} (seed {args.seed}): {exc}",
                   file=sys.stderr)
@@ -155,7 +162,7 @@ def main(argv=None):
             retried += 1
     print(f"OK: {cases} cases in {args.seconds:.1f}s budget, "
           f"{retried} retried (seed {args.seed}, "
-          f"fault rate {args.fault_rate})")
+          f"fault rate {args.fault_rate}, {args.workers} workers)")
     return 0
 
 
