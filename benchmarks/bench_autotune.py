@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Benchmark autotuned schedules vs. hand-picked and naive schedules.
+
+Runs three functional collective mixes (AlltoAll, AllReduce, AllGather)
+through three arms:
+
+* **naive** -- a plain ``Communicator(manager)`` on the system default
+  backend: the untuned default schedule (scalar backend, untiled
+  compiled replay, FULL rung).
+* **hand** -- a grid of pinned ``SessionConfig``\\ s over the same
+  candidate lattice the tuner searches (vectorized compiled replay,
+  untiled plus the payload-fraction streaming tiles); the best
+  wall-clock entry is what a careful human would pick.
+* **tuned** -- ``SessionConfig(autotune="online")``: the cost model
+  prunes the schedule space, live replay measurements pick the tile,
+  and the committed decision is replayed from the plan cache's
+  decision store.  Timed in the steady state, after the tuner commits.
+
+Before timing, each mix's tuned schedule is checked bit-exact against
+the scalar interpreted oracle (same seeded inputs, oracle pinned to the
+tuned rung), so tuning can never trade correctness for speed.
+
+The script exits non-zero if any parity check fails, if the tuned arm
+falls outside ``tuned_within`` of the best hand-picked arm on any mix
+(full: 1.05x), or if the tuned arm beats the naive default by less than
+``naive_gate`` on every mix (full: >= 1.5x on at least one mix)::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py --smoke
+    PYTHONPATH=src python benchmarks/bench_autotune.py   # full gate
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import (Communicator, DimmGeometry, DimmSystem, HypercubeManager,
+                   SessionConfig)
+from repro.core.groups import slice_groups
+from repro.dtypes import INT64, SUM
+
+ELEM = INT64.itemsize
+
+GEOMETRIES = {
+    256: DimmGeometry(2, 2, 8, 8),
+    1024: DimmGeometry(4, 4, 8, 8),
+}
+
+#: mix -> (per-PE input bytes, output elems per PE, needs reduce op),
+#: parameterized by (npes, scale).  ``scale`` is elements per peer slot
+#: (AlltoAll / AllReduce) or per contribution (AllGather).
+MIXES = {
+    "alltoall": (lambda n, s: n * s * ELEM, lambda n, s: n * s, False),
+    "allreduce": (lambda n, s: n * s * ELEM, lambda n, s: n * s, True),
+    "allgather": (lambda n, s: s * ELEM, lambda n, s: n * s, False),
+}
+
+#: Fractions of the gathered footprint offered as hand-picked streaming
+#: tiles -- the same lattice ``repro.analysis.autotune`` searches.
+TILE_FRACTIONS = (4, 8, 16)
+MIN_TILE_BYTES = 4096
+
+MODES = {
+    "full": {"npes": 1024, "scale": 8, "mram": 1 << 18, "iters": 6,
+             "naive_iters": 1, "tuned_within": 1.05, "naive_gate": 1.5},
+    "smoke": {"npes": 256, "scale": 8, "mram": 1 << 16, "iters": 8,
+              "naive_iters": 2, "tuned_within": 1.25, "naive_gate": 1.2},
+}
+
+#: parity workload (scalar interpreted oracle; kept moderate because
+#: the oracle loops PEs in Python).
+PARITY = {"npes": 256, "scale": 2, "mram": 1 << 14}
+
+#: Warmup-call cap while waiting for the online tuner to commit.
+WARMUP_CAP = 64
+
+
+def setup(npes, mram, session, backend="scalar"):
+    """Fresh system + communicator for one arm."""
+    system = DimmSystem(GEOMETRIES[npes], mram_bytes=mram, backend=backend)
+    manager = HypercubeManager(system, shape=(npes,))
+    comm = Communicator(manager, session)
+    pe_ids = slice_groups(manager, "1")[0].pe_ids
+    return system, comm, pe_ids
+
+
+def fill_inputs(system, pe_ids, nbytes, seed):
+    """Seeded per-PE int64 inputs at offset 0; returns them rank-ordered."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-99, 100, (len(pe_ids), nbytes // ELEM),
+                          dtype=np.int64)
+    system.scatter_elements(pe_ids, 0, list(values), INT64)
+    return values
+
+
+def invoke(comm, mix, npes, scale):
+    """One functional collective; src at 0, dst right after it."""
+    in_fn, _, needs_op = MIXES[mix]
+    nbytes = in_fn(npes, scale)
+    kwargs = {"reduction_type": SUM} if needs_op else {}
+    return getattr(comm, mix)("1", nbytes, src_offset=0, dst_offset=nbytes,
+                              data_type=INT64, **kwargs)
+
+
+def outputs_of(system, pe_ids, mix, npes, scale):
+    in_fn, out_fn, _ = MIXES[mix]
+    return np.stack(system.gather_elements(
+        pe_ids, in_fn(npes, scale), out_fn(npes, scale), INT64))
+
+
+def hand_tiles(mix, npes, scale):
+    """The hand grid's streaming-tile axis for one mix."""
+    _, out_fn, _ = MIXES[mix]
+    footprint = npes * out_fn(npes, scale) * ELEM
+    tiles = [None]
+    for fraction in TILE_FRACTIONS:
+        tile = footprint // fraction
+        if tile >= MIN_TILE_BYTES and tile not in tiles:
+            tiles.append(tile)
+    return tiles
+
+
+def check_oracle_parity(mix, seed=11):
+    """Tuned replay vs. the scalar interpreted oracle, bit-exact.
+
+    AllReduce/ReduceScatter permute their source in-place and the
+    permutation is rung-dependent, so the oracle gets fresh identical
+    inputs and is pinned to the rung the tuner chose.
+    """
+    npes, scale, mram = PARITY["npes"], PARITY["scale"], PARITY["mram"]
+    system, comm, pe_ids = setup(
+        npes, mram, SessionConfig(autotune="offline"))
+    fill_inputs(system, pe_ids, MIXES[mix][0](npes, scale), seed)
+    result = invoke(comm, mix, npes, scale)
+    if result.schedule is None:
+        raise SystemExit(f"PARITY FAIL {mix}: tuner attached no schedule")
+    tuned_out = outputs_of(system, pe_ids, mix, npes, scale)
+
+    oracle_sys, oracle_comm, oracle_pes = setup(
+        npes, mram, SessionConfig(execution="interpreted",
+                                  config=result.schedule.rung))
+    fill_inputs(oracle_sys, oracle_pes, MIXES[mix][0](npes, scale), seed)
+    oracle_res = invoke(oracle_comm, mix, npes, scale)
+    oracle_out = outputs_of(oracle_sys, oracle_pes, mix, npes, scale)
+    if not np.array_equal(tuned_out, oracle_out):
+        raise SystemExit(f"PARITY FAIL {mix}: tuned outputs diverge from "
+                         f"the scalar interpreted oracle")
+    if result.simd != oracle_res.simd:
+        raise SystemExit(f"PARITY FAIL {mix}: SIMD counters differ")
+    return result.schedule
+
+
+def time_arm(mix, spec, session, iters, backend="scalar", warm_tuner=False):
+    """Mean steady-state seconds per op; returns (secs, comm, result)."""
+    npes, scale = spec["npes"], spec["scale"]
+    system, comm, pe_ids = setup(npes, spec["mram"], session,
+                                 backend=backend)
+    fill_inputs(system, pe_ids, MIXES[mix][0](npes, scale), seed=5)
+    result = invoke(comm, mix, npes, scale)  # warm plans + caches
+    if warm_tuner:
+        for _ in range(WARMUP_CAP):
+            if comm.stats.tuner_cache_hits > 0:
+                break
+            result = invoke(comm, mix, npes, scale)
+        else:
+            raise SystemExit(f"TUNER FAIL {mix}: no decision committed "
+                             f"after {WARMUP_CAP} warmup calls")
+    start = time.perf_counter()
+    for _ in range(iters):
+        result = invoke(comm, mix, npes, scale)
+    return (time.perf_counter() - start) / iters, comm, result
+
+
+def main(argv=None):
+    """Parse args, check parity, time the arms, write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI (256 PEs, looser "
+                             "gates)")
+    parser.add_argument("--out", default="BENCH_autotune.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    spec = MODES[mode]
+    npes, scale = spec["npes"], spec["scale"]
+
+    results = []
+    failures = []
+    best_naive_ratio = 0.0
+    for mix in MIXES:
+        print(f"[parity] {mix}: tuned vs scalar interpreted oracle ...",
+              flush=True)
+        tuned_schedule = check_oracle_parity(mix)
+
+        naive_s, _, _ = time_arm(mix, spec, SessionConfig(),
+                                 spec["naive_iters"])
+        hand = []
+        for tile in hand_tiles(mix, npes, scale):
+            hand_s, _, _ = time_arm(
+                mix, spec,
+                SessionConfig(backend="vectorized", execution="compiled",
+                              stream_tile_bytes=tile),
+                spec["iters"], backend="vectorized")
+            hand.append({"tile_bytes": tile, "seconds_per_op": hand_s})
+        best_hand = min(hand, key=lambda h: h["seconds_per_op"])
+
+        tuned_s, comm, result = time_arm(
+            mix, spec, SessionConfig(autotune="online"), spec["iters"],
+            warm_tuner=True)
+        snapshot = comm.stats.snapshot()
+
+        vs_hand = tuned_s / best_hand["seconds_per_op"]
+        vs_naive = naive_s / tuned_s
+        best_naive_ratio = max(best_naive_ratio, vs_naive)
+        entry = {
+            "mix": mix,
+            "payload_bytes": npes * MIXES[mix][0](npes, scale),
+            "naive_seconds_per_op": naive_s,
+            "hand_grid": hand,
+            "best_hand_seconds_per_op": best_hand["seconds_per_op"],
+            "tuned_seconds_per_op": tuned_s,
+            "tuned_schedule": result.schedule.describe()
+            if result.schedule else tuned_schedule.describe(),
+            "tuned_vs_best_hand": vs_hand,
+            "speedup_vs_naive": vs_naive,
+            "tuner": {k: snapshot[k] for k in (
+                "tuner_searches", "tuner_probes", "tuner_observations",
+                "tuner_cache_hits", "tuner_retunes")},
+        }
+        results.append(entry)
+        print(f"[timing] {mix}: naive {naive_s * 1e3:.3f}ms, best hand "
+              f"{best_hand['seconds_per_op'] * 1e3:.3f}ms, tuned "
+              f"{tuned_s * 1e3:.3f}ms ({vs_hand:.3f}x of hand, "
+              f"{vs_naive:.2f}x over naive)", flush=True)
+        if vs_hand > spec["tuned_within"]:
+            failures.append(
+                f"{mix}: tuned {vs_hand:.3f}x of best hand-picked exceeds "
+                f"{spec['tuned_within']:.2f}x")
+    if best_naive_ratio < spec["naive_gate"]:
+        failures.append(
+            f"tuned best speedup over naive {best_naive_ratio:.2f}x < "
+            f"{spec['naive_gate']:.1f}x on every mix")
+
+    report = {
+        "mode": mode,
+        "workload": {"npes": npes, "scale": scale, "dtype": "int64",
+                     "mixes": list(MIXES)},
+        "parity": "bit-exact vs scalar interpreted oracle at the tuned "
+                  "rung (outputs, simd), fresh inputs per arm",
+        "gates": {"tuned_within_best_hand": spec["tuned_within"],
+                  "min_speedup_vs_naive_any_mix": spec["naive_gate"]},
+        "headline": {"best_speedup_vs_naive": best_naive_ratio},
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: tuned within {spec['tuned_within']:.2f}x of best "
+          f"hand-picked on every mix, {best_naive_ratio:.2f}x over the "
+          f"naive default at best")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,15 @@ from .core.api import (
     pidcomm_reduce_scatter,
     pidcomm_scatter,
 )
-from .core.collectives import ABLATION_LADDER, BASELINE, FULL, PR_IM, PR_ONLY, OptConfig
+from .core.collectives import (
+    ABLATION_LADDER,
+    BASELINE,
+    FULL,
+    PR_IM,
+    PR_ONLY,
+    OptConfig,
+    Schedule,
+)
 from .core.hypercube import HypercubeManager
 from .dtypes import ALL_OPS, ALL_TYPES, dtype_by_name, op_by_name
 from .engine import (
@@ -73,11 +81,12 @@ from .reliability import (
     RetryPolicy,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
+    "Schedule",
     "Communicator", "CommRequest", "CommResult", "CommFuture",
     "BatchResult", "PlanCache", "EngineStats", "SessionConfig",
     "CollectiveServer", "Session", "TenantSpec",

@@ -268,6 +268,30 @@ def render_serving(stats) -> str:
     return "\n".join(lines)
 
 
+def render_autotune(stats) -> str:
+    """Render an :class:`~repro.engine.stats.EngineStats` autotuner block.
+
+    Example::
+
+        Autotune(3 searches, 117 decision hits)
+        decision hit rate 97.5%
+        probes       18  (24 observations)
+        re-tunes     1
+    """
+    searches = stats.tuner_searches
+    hits = stats.tuner_cache_hits
+    if not (searches or hits):
+        return "Autotune(tuner idle)"
+    lookups = searches + hits
+    lines = [f"Autotune({searches} search"
+             f"{'' if searches == 1 else 'es'}, {hits} decision hits)",
+             f"decision hit rate {hits / lookups:.1%}",
+             f"probes       {stats.tuner_probes}  "
+             f"({stats.tuner_observations} observations)",
+             f"re-tunes     {stats.tuner_retunes}"]
+    return "\n".join(lines)
+
+
 def dominant_category(plan: CommPlan, system: DimmSystem) -> str:
     """The category the plan spends most of its modelled time in."""
     breakdown = plan.estimate(system).breakdown()

@@ -106,15 +106,18 @@ class CommPlan:
         ctx = self.execute(system) if functional else None
         return ledger, ctx
 
-    def compile(self, system: DimmSystem):
+    def compile(self, system: DimmSystem, schedule=None):
         """Lower this plan into a replayable compiled program.
 
         Convenience wrapper around
         :func:`~repro.core.collectives.program.compile_plan` (imported
-        lazily: the program module builds on this one).
+        lazily: the program module builds on this one).  ``schedule``
+        (a :class:`~repro.core.collectives.schedule.Schedule`) caps
+        fusion depth and is attached to -- and asserted against -- the
+        compiled program.
         """
         from .program import compile_plan
-        return compile_plan(self, system)
+        return compile_plan(self, system, schedule=schedule)
 
     def describe(self) -> str:
         """Multi-line plan listing for debugging and docs."""

@@ -35,6 +35,7 @@ them with :meth:`CostLedger.merge_concurrent`.
 from __future__ import annotations
 
 import warnings
+from dataclasses import replace
 from time import perf_counter
 from typing import Any, Mapping, Sequence
 
@@ -145,9 +146,24 @@ class Communicator:
         self.functional = session_config.functional
         self.execution = session_config.execution
         self.stream_tile_bytes = session_config.stream_tile_bytes
+        #: Autotune mode (None / "offline" / "online").
+        self.autotune = session_config.autotune
+        #: The session's schedule tuner (None unless autotuning).
+        #: Imported lazily: ``analysis`` pulls in the application
+        #: harness, which imports this module.
+        self.tuner = None
+        if self.autotune is not None:
+            from ..analysis.autotune import ScheduleSpace, Tuner
+            self.tuner = Tuner(manager,
+                               ScheduleSpace.from_session(session_config),
+                               mode=self.autotune)
         #: Session-owned streaming scratch, reused across every call so
         #: steady-state streamed replay performs zero heap allocations.
-        self._scratch = ScratchPool() if self.stream_tile_bytes else None
+        #: An autotuned session may pick a streamed schedule at any
+        #: point, so it always owns a pool.
+        self._scratch = (ScratchPool()
+                         if self.stream_tile_bytes or self.autotune
+                         else None)
         #: Session-owned worker pool (None = serial, the default);
         #: runs hazard-independent wave members and streamed row bands
         #: concurrently.  See docs/performance.md "Parallel replay".
@@ -200,16 +216,70 @@ class Communicator:
             self.stats.plan_partitions[req.tenant] = cache.counters()
         return plan, hit
 
+    def _tuned(self, req: NormalizedRequest) -> NormalizedRequest:
+        """Resolve ``req``'s execution schedule through the tuner.
+
+        Untuned sessions return the request unchanged.  Tuned sessions
+        first pin the space's statically preferred backend (so every
+        candidate plan/program is cached under the key steady-state
+        execution will look up), then ask the tuner for a schedule --
+        a cached decision, a shortlist candidate being probed, or a
+        fresh search -- and stamp it (plus its rung) on the request.
+        """
+        if self.tuner is None or req.schedule is not None:
+            return req
+        preferred = self.tuner.preferred_backend
+        if preferred != self.backend:
+            self.manager.system.set_backend(preferred)
+        if preferred != req.backend:
+            req = replace(req, backend=preferred)
+        schedule = self.tuner.schedule_for(
+            req, self._plan_cache_for(req), self.stats,
+            plan_for=lambda rung: self._candidate_plan(req, rung),
+            program_for=lambda rung: self._candidate_program(req, rung))
+        return replace(req, config=schedule.rung, schedule=schedule)
+
+    def _candidate_plan(self, req: NormalizedRequest,
+                        rung: OptConfig) -> CommPlan:
+        """A candidate rung's (cached) plan, for schedule pricing."""
+        sub = replace(req, config=rung, schedule=None)
+        plan, _ = self._compile(sub)
+        return plan
+
+    def _candidate_program(self, req: NormalizedRequest,
+                           rung: OptConfig) -> CommProgram:
+        """A candidate rung's (cached) compiled program.
+
+        Goes through the same plan-cache entries the engine replays
+        from, so nothing priced during search is compiled twice.
+        """
+        sub = replace(req, config=rung, schedule=None)
+        plan, _ = self._compile(sub)
+
+        def build() -> CommProgram:
+            start = perf_counter()
+            program = plan.compile(self.manager.system)
+            self.stats.record_compile(perf_counter() - start)
+            return program
+
+        program, _ = self._plan_cache_for(sub).fetch_program(sub.plan_key,
+                                                             build)
+        return program
+
     def _program_for(self, req: NormalizedRequest,
                      plan: CommPlan) -> CommProgram | None:
         """The compiled program to replay ``req`` with, if any.
 
-        None means interpret: either the session asked for it, or a
-        fault injector is attached (compiled ops never consult the
-        injector, so replaying would silently skip fault sites --
-        ``execution="compiled"`` makes that an error instead).
+        None means interpret: the session (or the request's tuned
+        schedule) asked for it, or a fault injector is attached
+        (compiled ops never consult the injector, so replaying would
+        silently skip fault sites -- ``execution="compiled"`` makes
+        that an error instead).
         """
-        if self.execution == "interpreted":
+        if req.schedule is not None:
+            if req.schedule.execution == "interpreted":
+                return None
+        elif self.execution == "interpreted":
             return None
         if self.manager.system.fault_injector is not None:
             if self.execution == "compiled":
@@ -220,7 +290,8 @@ class Communicator:
 
         def build() -> CommProgram:
             start = perf_counter()
-            program = plan.compile(self.manager.system)
+            program = plan.compile(self.manager.system,
+                                   schedule=req.schedule)
             self.stats.record_compile(perf_counter() - start)
             return program
 
@@ -319,8 +390,13 @@ class Communicator:
         seconds`` is None unless a compiled functional replay ran.
         """
         plan, program, hit = resolved
+        schedule = req.schedule
         if program is not None:
-            tile_bytes = self.stream_tile_bytes
+            tile_bytes = (schedule.tile_bytes if schedule is not None
+                          else self.stream_tile_bytes)
+            workers = self._band_workers()
+            if schedule is not None and not schedule.band_parallel:
+                workers = None
             replay_s = None
             if functional:
                 raw = (_payload_bytes(req.payloads)
@@ -330,7 +406,7 @@ class Communicator:
                                              payloads=raw,
                                              tile_bytes=tile_bytes,
                                              pool=self._replay_pool(),
-                                             workers=self._band_workers())
+                                             workers=workers)
                 replay_s = perf_counter() - start
                 tiles = ctx.tiles
                 peak_scratch = ctx.peak_scratch_bytes
@@ -353,7 +429,8 @@ class Communicator:
                               execution=("streamed" if tile_bytes is not None
                                          else "compiled"),
                               tiles=tiles,
-                              peak_scratch_bytes=peak_scratch), replay_s
+                              peak_scratch_bytes=peak_scratch,
+                              schedule=schedule), replay_s
         bound = bind_payloads(plan, req.payloads if functional else None)
         ledger, ctx = bound.run(self.manager.system, functional=functional)
         host_outputs = self._host_outputs(req, ctx)
@@ -361,7 +438,8 @@ class Communicator:
                           host_outputs=host_outputs, cached=hit,
                           simd=ctx.simd if ctx is not None else None,
                           wram_tiles=ctx.wram_tiles if ctx is not None
-                          else 0), None
+                          else 0,
+                          schedule=schedule), None
 
     def _record_execution(self, req: NormalizedRequest, result: CommResult,
                           replay_s: float | None) -> None:
@@ -378,6 +456,13 @@ class Communicator:
                                cached=result.cached)
         if self._pool is not None:
             self.stats.worker_bands = self._pool.band_counts()
+        if self.tuner is not None and req.schedule is not None:
+            # Online feedback: fold the measured replay seconds (None
+            # for analytic/interpreted runs) into the tuner's probe or
+            # divergence-monitor state for this shape.
+            self.tuner.observe(req, req.schedule, result.ledger.total,
+                               replay_s, self._plan_cache_for(req),
+                               self.stats)
 
     def _host_outputs(self, req: NormalizedRequest,
                       ctx) -> dict[int, np.ndarray] | None:
@@ -534,8 +619,8 @@ class Communicator:
 
     def _call(self, request: CommRequest,
               functional: bool | None) -> CommResult:
-        req = request.normalize(self.manager, self.config,
-                                backend=self.backend)
+        req = self._tuned(request.normalize(self.manager, self.config,
+                                            backend=self.backend))
         return self._run(
             req, self.functional if functional is None else functional)
 
@@ -560,8 +645,8 @@ class Communicator:
             raise CollectiveError("submit() needs at least one request")
         run_functional = (self.functional if functional is None
                           else functional)
-        normalized = [r.normalize(self.manager, self.config,
-                                  backend=self.backend)
+        normalized = [self._tuned(r.normalize(self.manager, self.config,
+                                              backend=self.backend))
                       for r in requests]
         waves = schedule_waves(normalized)
         futures: list[CommFuture] = [None] * len(normalized)  # type: ignore

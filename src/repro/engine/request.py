@@ -125,19 +125,45 @@ class NormalizedRequest:
     #: Owning tenant id (serving front-end); selects the plan-cache
     #: partition the engine resolves this request through.
     tenant: str | None = None
+    #: The resolved execution :class:`~repro.core.collectives.Schedule`
+    #: stamped by the session's tuner (None = untuned; the session
+    #: knobs apply as configured).
+    schedule: Any = None
 
     @property
     def plan_key(self) -> "PlanKey":
         """Cache key: everything that shapes the plan except payloads."""
         op_name = (self.op.name if self.primitive in ARITHMETIC_PRIMITIVES
                    else None)
+        variant: Any = self.config
+        if self.schedule is not None \
+                and self.schedule.fusion_depth is not None:
+            # A capped fusion depth changes the compiled program's
+            # structure, so differently-fused programs must never
+            # alias under one key (the rung alone is not enough).
+            variant = (self.config, "fuse", self.schedule.fusion_depth)
         return PlanKey(primitive=self.primitive, dims=self.dims,
                        total_data_size=self.total_data_size,
                        src_offset=self.src_offset,
                        dst_offset=self.dst_offset,
                        dtype=self.dtype.name, op=op_name,
-                       variant=self.config, topology=self.topology,
+                       variant=variant, topology=self.topology,
                        backend=self.backend)
+
+    @property
+    def schedule_key(self) -> tuple:
+        """Identity of one *tuning problem*: the request facts a
+        schedule decision depends on, and nothing the tuner itself
+        chooses.  Unlike :attr:`plan_key` it omits the config rung and
+        backend (both are tuner outputs) but keeps the offsets --
+        streaming safety and band shapes depend on how src and dst
+        regions overlap.
+        """
+        op_name = (self.op.name if self.primitive in ARITHMETIC_PRIMITIVES
+                   else None)
+        return ("schedule", self.primitive, self.dims,
+                self.total_data_size, self.src_offset, self.dst_offset,
+                self.dtype.name, op_name, self.topology)
 
     def describe(self) -> str:
         """Short label for traces and futures."""

@@ -61,6 +61,9 @@ class CommResult:
     #: Scratch-pool high-water mark of a streamed replay, in bytes
     #: (bounded by ~2 tiles: one ping staging + one pong output view).
     peak_scratch_bytes: int = 0
+    #: The execution :class:`~repro.core.collectives.Schedule` this
+    #: call ran under (None unless the session autotunes).
+    schedule: object | None = None
 
     @property
     def seconds(self) -> float:
@@ -93,6 +96,8 @@ class CommResult:
             parts.append(f"faults: {','.join(self.faults_seen)}")
         if self.degraded:
             parts.append("degraded")
+        if self.schedule is not None:
+            parts.append(f"tuned [{self.schedule.describe()}]")
         return ", ".join(parts) + ")"
 
 

@@ -76,6 +76,18 @@ class SessionConfig:
             policy fall back to serial execution (the injector's RNG
             is stateful), counted in ``EngineStats.parallel_fallbacks``
             (``docs/performance.md``).
+        autotune: ``None`` (default) runs the knobs exactly as
+            configured.  ``"offline"`` lets a cost-model-guided
+            :class:`~repro.analysis.autotune.Tuner` pick the execution
+            schedule (backend/execution/tile/rung) per collective
+            shape, caching decisions beside the compiled plans;
+            ``"online"`` additionally probes the model's shortlist
+            with measured replay seconds and re-tunes when observed
+            cost diverges from modelled cost.  Knobs set explicitly
+            (``backend``, ``execution``, ``stream_tile_bytes``) pin
+            their axis -- the tuner only decides what was left open.
+            Incompatible with ``fault_injector``/``reliability``
+            (``docs/performance.md``).
     """
 
     config: OptConfig = FULL
@@ -87,6 +99,7 @@ class SessionConfig:
     execution: str = "auto"
     stream_tile_bytes: int | None = None
     parallel_workers: int = 1
+    autotune: str | None = None
 
     def __post_init__(self) -> None:
         """Validate the combination once, at construction."""
@@ -113,6 +126,16 @@ class SessionConfig:
             raise CollectiveError(
                 f"unknown backend {self.backend!r}; "
                 f"known: ('scalar', 'vectorized')")
+        if self.autotune is not None:
+            if self.autotune not in ("offline", "online"):
+                raise CollectiveError(
+                    f"unknown autotune mode {self.autotune!r}; "
+                    f"known: ('offline', 'online')")
+            if self.fault_injector is not None or self.reliability is not None:
+                raise CollectiveError(
+                    "autotune cannot run under a fault injector or "
+                    "reliability policy: tuned schedules replay compiled "
+                    "programs, and fault handling is interpreted-only")
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "SessionConfig":

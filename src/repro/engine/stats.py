@@ -75,6 +75,18 @@ class EngineStats:
     #: worker label -> streamed bands executed on that worker
     #: (mirrors the session pool's lifetime counters).
     worker_bands: dict[str, int] = field(default_factory=dict)
+    # Autotuner counters (all zero unless SessionConfig(autotune=...)).
+    #: Fresh schedule-space searches performed (cold keys + re-tunes).
+    tuner_searches: int = 0
+    #: Lookups served by a cached schedule decision.
+    tuner_cache_hits: int = 0
+    #: Executions handed a shortlist candidate to measure (online mode).
+    tuner_probes: int = 0
+    #: Replay-seconds observations folded into probe/monitor state.
+    tuner_observations: int = 0
+    #: Committed decisions invalidated because observed cost diverged
+    #: from modelled cost (each forces a fresh search).
+    tuner_retunes: int = 0
     bytes_moved: int = 0
     modelled_seconds: float = 0.0
     overlap_saved_seconds: float = 0.0
@@ -210,6 +222,11 @@ class EngineStats:
             "parallel_wall_seconds": self.parallel_wall_seconds,
             "parallel_task_seconds": self.parallel_task_seconds,
             "worker_bands": dict(self.worker_bands),
+            "tuner_searches": self.tuner_searches,
+            "tuner_cache_hits": self.tuner_cache_hits,
+            "tuner_probes": self.tuner_probes,
+            "tuner_observations": self.tuner_observations,
+            "tuner_retunes": self.tuner_retunes,
             "bytes_moved": self.bytes_moved,
             "modelled_seconds": self.modelled_seconds,
             "overlap_saved_seconds": self.overlap_saved_seconds,
@@ -261,6 +278,13 @@ class EngineStats:
             for label in sorted(self.worker_bands):
                 lines.append(f"    {label:<15s} "
                              f"{self.worker_bands[label]} bands")
+        if self.tuner_searches or self.tuner_cache_hits:
+            lines.append("  autotuner:")
+            lines.append(f"    searches        {self.tuner_searches}")
+            lines.append(f"    decision hits   {self.tuner_cache_hits}")
+            lines.append(f"    probes          {self.tuner_probes} "
+                         f"({self.tuner_observations} observations)")
+            lines.append(f"    re-tunes        {self.tuner_retunes}")
         if self.plan_partitions:
             lines.append("  plan-cache partitions:")
             for tenant in sorted(self.plan_partitions):

@@ -94,6 +94,7 @@ _FULL_REPR = "OptConfig(pe_reorder=True, in_register=True, cross_domain=True)"
 EXPECTED_EXPORTS = {
     "DimmSystem", "DimmGeometry", "MachineParams", "HypercubeManager",
     "OptConfig", "BASELINE", "PR_ONLY", "PR_IM", "FULL", "ABLATION_LADDER",
+    "Schedule",
     "Communicator", "CommRequest", "CommResult", "CommFuture",
     "BatchResult", "PlanCache", "EngineStats", "SessionConfig",
     "CollectiveServer", "Session", "TenantSpec",

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.autotune import autotune_shape, candidate_shapes
+from repro.analysis import autotune as autotune_module
+from repro.analysis.autotune import (
+    _factorizations,
+    autotune_shape,
+    candidate_shapes,
+)
 from repro.errors import PidCommError
 from repro.hw.system import DimmSystem
 
@@ -67,3 +72,50 @@ class TestAutotune:
     def test_empty_mix_rejected(self, system):
         with pytest.raises(PidCommError, match="non-empty"):
             autotune_shape(system, 1024, 2, [])
+
+
+class TestEnumerationMemoization:
+    def test_candidate_shapes_memoized(self):
+        _factorizations.cache_clear()
+        first = list(candidate_shapes(512, 3))
+        after_first = _factorizations.cache_info()
+        second = list(candidate_shapes(512, 3))
+        after_second = _factorizations.cache_info()
+        assert first == second
+        # The repeat enumeration re-derives nothing: one more cache hit
+        # on the top-level entry, zero new misses.
+        assert after_second.misses == after_first.misses
+        assert after_second.hits == after_first.hits + 1
+
+    def test_recursion_shares_suffix_subproblems(self):
+        _factorizations.cache_clear()
+        list(candidate_shapes(1024, 3))
+        info = _factorizations.cache_info()
+        # Prefix lengths 1..1024 all recurse into (1024/len, 2) suffix
+        # problems; sharing those makes hits non-trivial even on the
+        # very first enumeration.
+        assert info.hits > 0
+
+    def test_repeated_mix_entries_price_once(self, monkeypatch):
+        system = DimmSystem.paper_testbed()
+        calls = []
+        real_plan = autotune_module._pid_plan
+
+        def counting_plan(primitive, manager, dims, payload):
+            calls.append((primitive, dims, payload))
+            return real_plan(primitive, manager, dims, payload)
+
+        monkeypatch.setattr(autotune_module, "_pid_plan", counting_plan)
+        # 8 entries, but only 2 distinct (primitive, pattern, payload).
+        mix = [("allreduce", "10", MB)] * 6 + [("allgather", "01", MB)] * 2
+        scores = autotune_shape(system, 1024, 2, mix, min_dim=4)
+        shapes_priced = len(scores)
+        per_shape = {}
+        for entry in calls:
+            per_shape[entry] = per_shape.get(entry, 0) + 1
+        # Each distinct entry was planned exactly once per surviving
+        # shape (plus shapes rejected mid-pricing), never once per
+        # repetition.
+        assert len(per_shape) == 2
+        assert all(count <= shapes_priced + 2 for count in per_shape.values())
+        assert len(calls) < len(mix) * shapes_priced

@@ -54,22 +54,25 @@ def _random_case(rng: np.random.Generator) -> dict:
 
 def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
              dtype, chunk: int, config, injector=None,
-             backend: str = "scalar", execution: str = "auto",
-             tile: int | None = None, workers: int = 1):
+             backend: str | None = "scalar", execution: str = "auto",
+             tile: int | None = None, workers: int = 1,
+             autotune: str | None = None):
     """One randomized collective, checked bit-exactly against reference.
 
     Returns the engine's CommResult (so fault sweeps can inspect
     ``attempts``).  ``tile`` streams compiled replays through
     ``stream_tile_bytes``-sized scratch bands; ``workers`` > 1 replays
     them band-parallel across a session worker pool (which must stay
-    inside the same oracle).
+    inside the same oracle).  ``autotune`` hands schedule selection to
+    the cost-model tuner -- whatever it picks must also stay inside
+    the oracle; ``backend=None`` leaves the backend axis open for it.
     """
     manager = make_manager(shape)
     system = manager.system
     comm = Communicator(manager, SessionConfig(
         config=config, fault_injector=injector, backend=backend,
         execution=execution, stream_tile_bytes=tile,
-        parallel_workers=workers))
+        parallel_workers=workers, autotune=autotune))
     bitmap = _random_bitmap(rng, manager.ndim)
     groups = groups_of(manager, bitmap)
     n = groups[0].size
@@ -140,8 +143,9 @@ def run_case(rng: np.random.Generator, primitive: str, shape: tuple,
 
 
 def _sweep(seed: int, cases: int, injector_factory=None,
-           backend: str = "scalar", execution: str = "auto",
-           tile: int | None = None, workers: int = 1) -> list:
+           backend: str | None = "scalar", execution: str = "auto",
+           tile: int | None = None, workers: int = 1,
+           autotune: str | None = None) -> list:
     rng = np.random.default_rng(seed)
     results = []
     for _ in range(cases):
@@ -149,7 +153,8 @@ def _sweep(seed: int, cases: int, injector_factory=None,
         injector = injector_factory() if injector_factory else None
         results.append(run_case(rng, injector=injector, backend=backend,
                                 execution=execution, tile=tile,
-                                workers=workers, **case))
+                                workers=workers, autotune=autotune,
+                                **case))
     return results
 
 
@@ -271,12 +276,39 @@ class TestFaultedSweep:
         assert max(attempts) > 1
 
 
+class TestTunedSweep:
+    """Autotuned schedules must stay inside the same oracle.
+
+    The tuner may pick any (backend, execution, tile, rung) combination
+    per case; whatever it picks, the functional result must still be
+    bit-identical to the golden reference.
+    """
+
+    @pytest.mark.parametrize("mode", ["offline", "online"])
+    def test_random_cases_match_reference(self, mode):
+        results = _sweep(seed=606, cases=24, backend=None, autotune=mode)
+        assert all(r.schedule is not None for r in results)
+
+    @pytest.mark.parametrize("mode", ["offline", "online"])
+    def test_every_primitive_tuned(self, mode):
+        rng = np.random.default_rng(5)
+        for primitive in PRIMITIVES:
+            result = run_case(rng, primitive, (4, 8), INT64, 2, FULL,
+                              backend=None, autotune=mode)
+            assert result.schedule is not None
+            assert result.execution in ("interpreted", "compiled",
+                                        "streamed")
+
+
 @pytest.mark.fuzz
 class TestLongSweep:
     """Excluded from tier-1 (see ``addopts``); run with ``-m fuzz``."""
 
     def test_long_healthy_sweep(self):
         _sweep(seed=424242, cases=300)
+
+    def test_long_tuned_sweep(self):
+        _sweep(seed=515151, cases=150, backend=None, autotune="online")
 
     def test_long_faulted_sweep(self):
         counter = [0]

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Aggregate every committed ``BENCH_*.json`` into one trajectory table.
+
+Each benchmark gate (``benchmarks/bench_*.py``) writes a JSON report
+with a ``mode`` and a ``headline`` dict whose keys differ per gate
+(speedup vs. a threshold, goodput ratio, tuned-vs-hand ratio, ...).
+This tool is the one place to read them all at once -- the performance
+trajectory of the repo across PRs::
+
+    python tools/bench_summary.py            # reports in the repo root
+    python tools/bench_summary.py --dir path --json summary.json
+
+It is a reporter, not a gate: the per-benchmark scripts already exit
+non-zero on regression.  Exit is non-zero only when no reports exist.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _fmt(value):
+    """Compact scalar rendering for table cells."""
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if isinstance(value, dict):
+        return ", ".join(f"{k}={_fmt(v)}" for k, v in value.items())
+    if isinstance(value, list):
+        return ", ".join(_fmt(v) for v in value)
+    return str(value)
+
+
+def load_reports(directory: Path) -> list[dict]:
+    """All ``BENCH_*.json`` reports in ``directory``, name-sorted."""
+    reports = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path) as handle:
+            data = json.load(handle)
+        reports.append({
+            "name": path.stem.removeprefix("BENCH_"),
+            "file": path.name,
+            "mode": data.get("mode", "?"),
+            "headline": data.get("headline", {}),
+            "parity": data.get("parity"),
+        })
+    return reports
+
+
+def render(reports: list[dict]) -> str:
+    """The aligned trajectory table."""
+    rows = [("benchmark", "mode", "headline")]
+    for report in reports:
+        rows.append((report["name"], report["mode"],
+                     _fmt(report["headline"])))
+    widths = [max(len(row[col]) for row in rows) for col in (0, 1)]
+    lines = []
+    for index, (name, mode, headline) in enumerate(rows):
+        lines.append(f"{name:<{widths[0]}}  {mode:<{widths[1]}}  {headline}")
+        if index == 0:
+            lines.append("-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=".",
+                        help="directory holding BENCH_*.json (default: .)")
+    parser.add_argument("--json", default=None,
+                        help="also write the aggregate as JSON here")
+    args = parser.parse_args(argv)
+    reports = load_reports(Path(args.dir))
+    if not reports:
+        print(f"no BENCH_*.json reports under {args.dir}", file=sys.stderr)
+        return 1
+    print(render(reports))
+    print(f"\n{len(reports)} reports; parity checked in "
+          f"{sum(1 for r in reports if r['parity'])} of them")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(reports, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
