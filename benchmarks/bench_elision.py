@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Benchmark content-aware transfer elision on sparse vs. dense traffic.
+
+Runs a large functional AlltoAll with the session engine in
+``execution="compiled"`` mode on the vectorized backend, with
+``elide_transfers`` off and on, over two payload contents:
+
+* **sparse** -- MoE-style structured sparsity: the same 75% of
+  per-destination blocks are zero on every PE (globally cold experts),
+  so whole destination rows are all-zero and the eliding replay skips
+  their gather and write entirely.  Gate: elide-on must be >= 1.5x
+  faster wall-clock than elide-off on the same payload.
+* **dense** -- every block nonzero, nothing elidable: the scan runs
+  and finds no savings.  Gate: elide-on may cost at most 5% over
+  elide-off (the dense-traffic guardrail; sessions that leave
+  ``elide_transfers`` off pay exactly nothing, which
+  ``tests/test_elision.py`` asserts separately).
+
+Before timing, the eliding replay is checked bit-exact against the
+*scalar interpreted* oracle at a moderate size and against the
+non-eliding compiled replay at the full gate size -- elision changes
+the work performed, never the answer.  Timing measures the steady
+state: plan, program, and gather tables are built on a warmup call.
+
+The script exits non-zero if any parity check fails or either gate
+misses::
+
+    PYTHONPATH=src python benchmarks/bench_elision.py --smoke
+    PYTHONPATH=src python benchmarks/bench_elision.py   # full gate
+"""
+
+import argparse
+import gc
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import (Communicator, DimmGeometry, DimmSystem, HypercubeManager,
+                   SessionConfig)
+from repro.core.groups import slice_groups
+from repro.dtypes import INT64
+
+GEOMETRIES = {
+    256: DimmGeometry(2, 2, 8, 8),
+    1024: DimmGeometry(4, 4, 8, 8),
+}
+
+#: mode -> gate workload.  ``per_pe`` bytes of AlltoAll payload per PE.
+MODES = {
+    "full": {"npes": 1024, "per_pe": 1 << 16, "mram": 1 << 18,
+             "iters": 6, "repeats": 6, "sparsity": 0.75,
+             "sparse_gate": 1.5, "dense_gate": 1.05},
+    "smoke": {"npes": 256, "per_pe": 1 << 14, "mram": 1 << 16,
+              "iters": 8, "repeats": 10, "sparsity": 0.75,
+              "sparse_gate": 1.5, "dense_gate": 1.05},
+}
+
+#: parity workload (scalar interpreted oracle; kept moderate because
+#: the oracle loops PEs in Python).
+PARITY = {"npes": 256, "per_pe": 1 << 12, "mram": 1 << 14}
+
+
+def payload_values(npes, per_pe, sparsity, seed=11):
+    """The (npes, elems) int64 inputs; ``sparsity`` of the
+    per-destination blocks are zeroed on *every* PE (globally cold),
+    the structure whole-row elision needs."""
+    rng = np.random.default_rng(seed)
+    elems = per_pe // INT64.itemsize
+    values = rng.integers(1, 100, (npes, elems), dtype=np.int64)
+    if sparsity:
+        blocks = values.reshape(npes, npes, -1)
+        cold = rng.choice(npes, round(npes * sparsity), replace=False)
+        blocks[:, cold, :] = 0
+    return values
+
+
+def setup(npes, per_pe, mram, backend, execution, *, elide, sparsity):
+    """Fresh system + communicator + seeded inputs for one run."""
+    system = DimmSystem(GEOMETRIES[npes], mram_bytes=mram, backend=backend)
+    manager = HypercubeManager(system, shape=(npes,))
+    comm = Communicator(manager, SessionConfig(
+        execution=execution, elide_transfers=elide))
+    pe_ids = slice_groups(manager, "1")[0].pe_ids
+    values = payload_values(npes, per_pe, sparsity)
+    system.scatter_elements(pe_ids, 0, list(values), INT64)
+    return system, comm, pe_ids
+
+
+def invoke(comm, per_pe):
+    """One functional AlltoAll; src at 0, dst right after it."""
+    return comm.alltoall("1", per_pe, src_offset=0, dst_offset=per_pe,
+                         data_type=INT64)
+
+
+def outputs_of(system, pe_ids, per_pe):
+    return np.stack(system.gather_elements(
+        pe_ids, per_pe, per_pe // INT64.itemsize, INT64))
+
+
+def check_oracle_parity(sparsity):
+    """Eliding replay vs. the scalar interpreted oracle, bit-exact."""
+    outs = {}
+    for mode, backend, execution, elide in (
+            ("oracle", "scalar", "interpreted", False),
+            ("eliding", "vectorized", "compiled", True)):
+        system, comm, pe_ids = setup(
+            PARITY["npes"], PARITY["per_pe"], PARITY["mram"], backend,
+            execution, elide=elide, sparsity=sparsity)
+        result = invoke(comm, PARITY["per_pe"])
+        outs[mode] = outputs_of(system, pe_ids, PARITY["per_pe"])
+    if result.chunks_elided <= 0:
+        raise SystemExit(
+            f"PARITY FAIL: elision did not engage at parity size "
+            f"(scanned {result.chunks_scanned}, elided 0)")
+    if not np.array_equal(outs["oracle"], outs["eliding"]):
+        raise SystemExit("PARITY FAIL: eliding outputs diverge from the "
+                         "scalar interpreted oracle")
+
+
+def check_compiled_parity(spec, sparsity):
+    """Eliding vs. non-eliding compiled replay at the full gate size."""
+    outs = {}
+    for mode, elide in (("plain", False), ("eliding", True)):
+        system, comm, pe_ids = setup(
+            spec["npes"], spec["per_pe"], spec["mram"], "vectorized",
+            "compiled", elide=elide, sparsity=sparsity)
+        result = invoke(comm, spec["per_pe"])
+        outs[mode] = outputs_of(system, pe_ids, spec["per_pe"])
+    if result.chunks_elided <= 0:
+        raise SystemExit("PARITY FAIL: elision did not engage at gate size")
+    if not np.array_equal(outs["plain"], outs["eliding"]):
+        raise SystemExit("PARITY FAIL: eliding gate-size outputs diverge "
+                         "from the non-eliding compiled replay")
+
+
+def time_replay_pair(spec, *, sparsity):
+    """Steady-state seconds per op for elide off and on, one payload.
+
+    Both sessions are set up and warmed first, then timed in
+    alternating rounds (off, on, off, on, ...) taking the best round
+    each -- machine-load drift between rounds hits both sides equally
+    instead of biasing whichever config happened to run later.
+    Returns ``(off_seconds, on_seconds, on_result)``.
+    """
+    comms = {}
+    for elide in (False, True):
+        system, comm, pe_ids = setup(
+            spec["npes"], spec["per_pe"], spec["mram"], "vectorized",
+            "compiled", elide=elide, sparsity=sparsity)
+        invoke(comm, spec["per_pe"])  # warm caches, tables, buffers
+        comms[elide] = comm
+    gc.collect()
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(spec["repeats"]):
+        for elide in (False, True):
+            start = time.perf_counter()
+            for _ in range(spec["iters"]):
+                result = invoke(comms[elide], spec["per_pe"])
+            best[elide] = min(
+                best[elide], (time.perf_counter() - start) / spec["iters"])
+    return best[False], best[True], result
+
+
+def main(argv=None):
+    """Parse args, check parity, time both gates, write the report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI (256 PEs, 4 MiB "
+                             "payload, same gates)")
+    parser.add_argument("--out", default="BENCH_elision.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    spec = MODES[mode]
+    payload = spec["npes"] * spec["per_pe"]
+
+    print("[parity] eliding vs scalar interpreted oracle ...", flush=True)
+    check_oracle_parity(spec["sparsity"])
+    print("[parity] eliding vs plain compiled at gate size ...", flush=True)
+    check_compiled_parity(spec, spec["sparsity"])
+
+    rows = {}
+    for content, sparsity in (("sparse", spec["sparsity"]), ("dense", 0.0)):
+        off_s, on_s, result = time_replay_pair(spec, sparsity=sparsity)
+        rows[content] = {
+            "sparsity": sparsity,
+            "elide_off_seconds_per_op": off_s,
+            "elide_on_seconds_per_op": on_s,
+            "speedup": off_s / on_s,
+            "chunks_scanned": result.chunks_scanned,
+            "chunks_elided": result.chunks_elided,
+            "elided_bytes": result.elided_bytes,
+            "modelled_elide_seconds": result.ledger.get("elide"),
+        }
+        print(f"[timing] {content}: off {off_s * 1e3:.3f}ms, "
+              f"on {on_s * 1e3:.3f}ms ({off_s / on_s:.2f}x, "
+              f"{result.chunks_elided}/{result.chunks_scanned} chunks "
+              f"elided)", flush=True)
+
+    sparse_speedup = rows["sparse"]["speedup"]
+    dense_overhead = 1.0 / rows["dense"]["speedup"]
+    report = {
+        "mode": mode,
+        "workload": {"collective": "alltoall", "npes": spec["npes"],
+                     "payload_bytes": payload, "dtype": "int64",
+                     "backend": "vectorized",
+                     "sparsity": spec["sparsity"]},
+        "parity": "bit-exact vs scalar interpreted oracle and vs "
+                  "non-eliding compiled replay at gate size",
+        "gates": {"min_sparse_speedup": spec["sparse_gate"],
+                  "max_dense_overhead": spec["dense_gate"]},
+        "headline": {"sparse_speedup": sparse_speedup,
+                     "dense_overhead": dense_overhead,
+                     "chunks_elided": rows["sparse"]["chunks_elided"]},
+        "results": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if sparse_speedup < spec["sparse_gate"]:
+        failures.append(
+            f"sparse eliding speedup {sparse_speedup:.2f}x < "
+            f"{spec['sparse_gate']:.1f}x")
+    if dense_overhead > spec["dense_gate"]:
+        failures.append(
+            f"dense scan overhead {dense_overhead:.3f}x > "
+            f"{spec['dense_gate']:.2f}x")
+    if rows["dense"]["chunks_elided"] != 0:
+        failures.append("dense payload elided chunks; fingerprinting is "
+                        "misclassifying nonzero content")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: sparse {sparse_speedup:.2f}x >= {spec['sparse_gate']:.1f}x, "
+          f"dense overhead {dense_overhead:.3f}x <= "
+          f"{spec['dense_gate']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

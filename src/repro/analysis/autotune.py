@@ -39,6 +39,7 @@ from ..core.collectives import ABLATION_LADDER, CommPlan, OptConfig, Schedule
 from ..core.hypercube import HypercubeManager
 from ..errors import HypercubeError, PidCommError
 from ..hw.system import DimmSystem
+from ..hw.timing import ELIDABLE_CATEGORIES
 from .experiments import _pid_plan
 
 #: Modes ``SessionConfig(autotune=...)`` accepts (None disables tuning).
@@ -167,6 +168,9 @@ class ScheduleSpace:
     streaming: bool = True
     #: Whether chosen schedules fan streamed bands across the pool.
     band_parallel: bool = False
+    #: Elision axis: ``(False,)`` never scans; ``(False, True)`` lets
+    #: the model decide per shape whether fingerprint scanning pays.
+    eliding: tuple[bool, ...] = (False,)
 
     @classmethod
     def from_session(cls, config) -> "ScheduleSpace":
@@ -179,7 +183,9 @@ class ScheduleSpace:
         return cls(backends=backends, executions=executions,
                    tile_bytes=config.stream_tile_bytes,
                    streaming="compiled" in executions,
-                   band_parallel=config.parallel_workers > 1)
+                   band_parallel=config.parallel_workers > 1,
+                   eliding=((False, True) if config.elide_transfers
+                            and "compiled" in executions else (False,)))
 
     @property
     def preferred_backend(self) -> str:
@@ -397,6 +403,21 @@ class Tuner:
                 continue
             program = program_for(rung)
             base = program.priced(system)
+            # Elision candidates exist only when the model says the
+            # scan can possibly pay: the fingerprint scan over every
+            # scannable source byte must cost less than eliding the
+            # elidable ops' *entire* transfer share would save.  When
+            # it cannot, no elide schedule is offered at all, so dense
+            # shapes do zero scan work (the dense fast path).
+            scan_s = savable_s = 0.0
+            if True in space.eliding:
+                scan_s = system.params.scan_time(program.scannable_bytes)
+                total_transfer = program.transfer_bytes
+                if total_transfer > 0:
+                    share = program.elidable_transfer_bytes / total_transfer
+                    savable_s = share * sum(base.get(c)
+                                            for c in ELIDABLE_CATEGORIES)
+            offer_elide = 0.0 < scan_s < savable_s
             for tile in tile_candidates(plan, space):
                 if tile is None:
                     seconds = base.total
@@ -408,6 +429,17 @@ class Tuner:
                              tile_bytes=tile, band_parallel=band,
                              rung=rung),
                     seconds, order))
+                if offer_elide:
+                    # The model cannot see payload content, so elide
+                    # candidates are priced at a 50% reference elision
+                    # rate: scan always paid, half the best-case
+                    # transfer saving credited (docs/performance.md).
+                    scores.append(ScheduleScore(
+                        Schedule(backend=backend, execution="compiled",
+                                 tile_bytes=tile, band_parallel=band,
+                                 elide=True, rung=rung),
+                        max(seconds + scan_s - 0.5 * savable_s, scan_s),
+                        order))
         # Deterministic order: modelled seconds, then rung position,
         # then the *larger* tile (less per-band dispatch at equal
         # modelled cost; untiled counts as largest).

@@ -248,6 +248,11 @@ def render_serving(stats) -> str:
         goodput 1234567 B/s
         tenant-a | 12 done   0 shed  p50  3.100 ms  p99  8.800 ms  ######
         tenant-b | 12 done   2 shed  p50  4.000 ms  p99  9.100 ms  ######
+
+    When the owned session elides transfers, each tenant line also
+    reports its elided chunk count and bytes (satisfying per-tenant
+    attribution: a sparse tenant's savings never blur into a dense
+    neighbour's).
     """
     if not stats.dispatched:
         return "Serving(no requests dispatched)"
@@ -259,12 +264,15 @@ def render_serving(stats) -> str:
     if tenants:
         longest = max(t.bytes_completed for t in tenants.values())
         width = max(len(tid) for tid in tenants)
+        show_elision = any(t.chunks_scanned for t in tenants.values())
         for tid in sorted(tenants):
             t = tenants[tid]
+            elided = (f"  elided {t.chunks_elided:>5d} chunks "
+                      f"({t.elided_bytes} B)" if show_elision else "")
             lines.append(
                 f"{tid:<{width}s} |{t.completed:>4d} done {t.shed:>3d} shed"
                 f"  p50 {t.p50 * 1e3:>8.3f} ms  p99 {t.p99 * 1e3:>8.3f} ms"
-                f"  {_bar(t.bytes_completed, longest, width=20)}")
+                f"{elided}  {_bar(t.bytes_completed, longest, width=20)}")
     return "\n".join(lines)
 
 
@@ -289,6 +297,26 @@ def render_autotune(stats) -> str:
              f"probes       {stats.tuner_probes}  "
              f"({stats.tuner_observations} observations)",
              f"re-tunes     {stats.tuner_retunes}"]
+    return "\n".join(lines)
+
+
+def render_elision(stats) -> str:
+    """Render an :class:`~repro.engine.stats.EngineStats` elision block.
+
+    Example::
+
+        Elision(5 scans, 4096 chunks fingerprinted)
+        chunks elided 3072  (75.0%)
+        bytes elided  786432
+    """
+    if not stats.elision_scans:
+        return "Elision(no scans -- dense fast path)"
+    lines = [f"Elision({stats.elision_scans} scan"
+             f"{'' if stats.elision_scans == 1 else 's'}, "
+             f"{stats.chunks_scanned} chunks fingerprinted)",
+             f"chunks elided {stats.chunks_elided}  "
+             f"({stats.elision_rate:.1%})",
+             f"bytes elided  {stats.elided_bytes}"]
     return "\n".join(lines)
 
 

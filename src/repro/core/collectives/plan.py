@@ -46,6 +46,24 @@ class ExecContext:
     tiles: int = 0
     #: Scratch-pool high-water mark (bytes) of a streamed replay.
     peak_scratch_bytes: int = 0
+    #: Content-aware elision: run the fingerprint scan in elidable ops
+    #: (set by ``CommProgram.replay(..., elide=True)``; never set on
+    #: the interpreted path, which stays the oracle).
+    elide: bool = False
+    #: Source chunks fingerprint-scanned by elidable ops.
+    chunks_scanned: int = 0
+    #: Destination chunks whose transfer was skipped (zero-filled or
+    #: alias-copied from a byte-identical representative).
+    chunks_elided: int = 0
+    #: Destination bytes covered by elided chunks.
+    elided_bytes: int = 0
+    #: Source bytes the fingerprint scans actually touched (prices the
+    #: ``elide`` ledger category).
+    scan_bytes: int = 0
+    #: Modelled transfer bytes the elisions removed from the bus /
+    #: staging path (zero rows skip both directions, duplicate rows
+    #: skip the gather direction).
+    saved_transfer_bytes: int = 0
 
 
 class Step(abc.ABC):

@@ -51,6 +51,11 @@ class Schedule:
         band_parallel: Whether streamed row bands may fan out across
             the session's worker pool (wall-clock only; results are
             bit-identical either way).
+        elide: Whether replay fingerprint-scans movement sources and
+            skips the transfer of all-zero / duplicate output rows
+            (content-aware elision; results stay bit-identical at any
+            elision rate).  Only legal with ``execution="compiled"``:
+            the interpreted path is the oracle and never elides.
         rung: The :class:`OptConfig` optimization rung the plan is
             built at.
     """
@@ -60,6 +65,7 @@ class Schedule:
     tile_bytes: int | None = None
     fusion_depth: int | None = None
     band_parallel: bool = False
+    elide: bool = False
     rung: OptConfig = FULL
 
     def __post_init__(self) -> None:
@@ -85,6 +91,10 @@ class Schedule:
             raise CollectiveError(
                 f"fusion_depth must be >= 1 (or None for unlimited), "
                 f"got {self.fusion_depth}")
+        if self.elide and self.execution == "interpreted":
+            raise CollectiveError(
+                "content-aware elision runs in compiled replay; "
+                "execution='interpreted' is the oracle and cannot elide")
         if not isinstance(self.rung, OptConfig):
             raise CollectiveError(
                 f"schedule rung must be an OptConfig, got {self.rung!r}")
@@ -103,10 +113,12 @@ class Schedule:
         return replace(self, backend=backend)
 
     def with_execution(self, execution: str) -> "Schedule":
-        """Schedule replaying via ``execution``; untiles when the new
-        mode is interpreted (streaming needs compiled replay)."""
-        if execution == "interpreted" and self.tile_bytes is not None:
-            return replace(self, execution=execution, tile_bytes=None)
+        """Schedule replaying via ``execution``; untiles and stops
+        eliding when the new mode is interpreted (streaming and
+        elision both need compiled replay)."""
+        if execution == "interpreted":
+            return replace(self, execution=execution, tile_bytes=None,
+                           elide=False)
         return replace(self, execution=execution)
 
     def with_tile(self, tile_bytes: int) -> "Schedule":
@@ -126,6 +138,10 @@ class Schedule:
         """Schedule fanning streamed bands across the worker pool."""
         return replace(self, band_parallel=flag)
 
+    def with_elide(self, flag: bool = True) -> "Schedule":
+        """Schedule with content-aware transfer elision on (or off)."""
+        return replace(self, elide=flag)
+
     def with_rung(self, rung: OptConfig) -> "Schedule":
         """Schedule planning at optimization rung ``rung``."""
         return replace(self, rung=rung)
@@ -137,17 +153,19 @@ class Schedule:
     def signature(self) -> tuple:
         """Hashable identity (used by decision caches and tuner state)."""
         return (self.backend, self.execution, self.tile_bytes,
-                self.fusion_depth, self.band_parallel, self.rung.label)
+                self.fusion_depth, self.band_parallel, self.elide,
+                self.rung.label)
 
     def describe(self) -> str:
         """Compact one-line label, e.g. ``vectorized/compiled tile=8MiB
-        fuse=* +CM``."""
+        fuse=* +CM elide``."""
         tile = ("untiled" if self.tile_bytes is None
                 else f"tile={self.tile_bytes}B")
         fuse = "*" if self.fusion_depth is None else str(self.fusion_depth)
         bands = " bands" if self.band_parallel else ""
+        elide = " elide" if self.elide else ""
         return (f"{self.backend}/{self.execution} {tile} fuse={fuse} "
-                f"{self.rung.label}{bands}")
+                f"{self.rung.label}{bands}{elide}")
 
     # ------------------------------------------------------------------
     # HeteroCL-style structure assertion

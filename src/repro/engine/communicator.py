@@ -146,6 +146,9 @@ class Communicator:
         self.functional = session_config.functional
         self.execution = session_config.execution
         self.stream_tile_bytes = session_config.stream_tile_bytes
+        #: Content-aware transfer elision default for compiled replays
+        #: (a tuned schedule's ``elide`` knob overrides per decision).
+        self.elide_transfers = session_config.elide_transfers
         #: Autotune mode (None / "offline" / "online").
         self.autotune = session_config.autotune
         #: The session's schedule tuner (None unless autotuning).
@@ -394,6 +397,8 @@ class Communicator:
         if program is not None:
             tile_bytes = (schedule.tile_bytes if schedule is not None
                           else self.stream_tile_bytes)
+            elide = (schedule.elide if schedule is not None
+                     else self.elide_transfers)
             workers = self._band_workers()
             if schedule is not None and not schedule.band_parallel:
                 workers = None
@@ -406,11 +411,15 @@ class Communicator:
                                              payloads=raw,
                                              tile_bytes=tile_bytes,
                                              pool=self._replay_pool(),
-                                             workers=workers)
+                                             workers=workers,
+                                             elide=elide)
                 replay_s = perf_counter() - start
                 tiles = ctx.tiles
                 peak_scratch = ctx.peak_scratch_bytes
             else:
+                # Analytic calls never elide: elision is a property of
+                # the actual payload content, which analytic pricing
+                # never sees (the tuner models it instead).
                 ledger, ctx = program.priced(self.manager.system), None
                 tiles, peak_scratch = 0, 0
                 if tile_bytes is not None:
@@ -430,6 +439,12 @@ class Communicator:
                                          else "compiled"),
                               tiles=tiles,
                               peak_scratch_bytes=peak_scratch,
+                              chunks_scanned=ctx.chunks_scanned
+                              if ctx is not None else 0,
+                              chunks_elided=ctx.chunks_elided
+                              if ctx is not None else 0,
+                              elided_bytes=ctx.elided_bytes
+                              if ctx is not None else 0,
                               schedule=schedule), replay_s
         bound = bind_payloads(plan, req.payloads if functional else None)
         ledger, ctx = bound.run(self.manager.system, functional=functional)
@@ -452,6 +467,9 @@ class Communicator:
             self.stats.record_replay(
                 replay_s, tiles=result.tiles,
                 peak_scratch_bytes=result.peak_scratch_bytes)
+        self.stats.record_elision(chunks_scanned=result.chunks_scanned,
+                                  chunks_elided=result.chunks_elided,
+                                  elided_bytes=result.elided_bytes)
         self.stats.record_call(req.primitive, result.plan, result.ledger,
                                cached=result.cached)
         if self._pool is not None:

@@ -61,6 +61,15 @@ class CommResult:
     #: Scratch-pool high-water mark of a streamed replay, in bytes
     #: (bounded by ~2 tiles: one ping staging + one pong output view).
     peak_scratch_bytes: int = 0
+    #: Source chunks fingerprint-scanned by content-aware elision
+    #: (0 unless the call ran with ``elide_transfers``/a tuned
+    #: ``elide`` schedule on a big-enough movement op).
+    chunks_scanned: int = 0
+    #: Destination chunks whose transfer was elided (zero-filled or
+    #: alias-copied from a byte-verified duplicate representative).
+    chunks_elided: int = 0
+    #: Destination bytes those elided chunks cover.
+    elided_bytes: int = 0
     #: The execution :class:`~repro.core.collectives.Schedule` this
     #: call ran under (None unless the session autotunes).
     schedule: object | None = None
@@ -90,6 +99,8 @@ class CommResult:
             parts.append("compiled replay")
         if self.execution == "streamed":
             parts.append(f"streamed replay ({self.tiles} tiles)")
+        if self.chunks_elided:
+            parts.append(f"{self.chunks_elided} chunks elided")
         if self.attempts > 1:
             parts.append(f"{self.attempts} attempts")
         if self.faults_seen:

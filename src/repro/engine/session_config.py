@@ -88,6 +88,19 @@ class SessionConfig:
             their axis -- the tuner only decides what was left open.
             Incompatible with ``fault_injector``/``reliability``
             (``docs/performance.md``).
+        elide_transfers: Content-aware transfer elision (default
+            False).  When True, compiled replays fingerprint-scan
+            their movement sources and skip the gather and bus charge
+            for all-zero / byte-identical output rows, substituting a
+            broadcast fill or an aliased copy of the verified
+            representative -- results stay bit-identical to the
+            interpreted oracle at any elision rate, and scan work is
+            priced to the ledger's ``elide`` category.  Requires a
+            compiled-capable execution mode
+            (``execution="interpreted"`` raises); calls that fall back
+            to the interpreted path -- a fault injector is attached,
+            for example -- simply run without elision
+            (``docs/performance.md``).
     """
 
     config: OptConfig = FULL
@@ -100,6 +113,7 @@ class SessionConfig:
     stream_tile_bytes: int | None = None
     parallel_workers: int = 1
     autotune: str | None = None
+    elide_transfers: bool = False
 
     def __post_init__(self) -> None:
         """Validate the combination once, at construction."""
@@ -126,6 +140,10 @@ class SessionConfig:
             raise CollectiveError(
                 f"unknown backend {self.backend!r}; "
                 f"known: ('scalar', 'vectorized')")
+        if self.elide_transfers and self.execution == "interpreted":
+            raise CollectiveError(
+                "elide_transfers runs in compiled replay; use "
+                "execution='auto' or 'compiled'")
         if self.autotune is not None:
             if self.autotune not in ("offline", "online"):
                 raise CollectiveError(

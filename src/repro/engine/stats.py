@@ -87,6 +87,16 @@ class EngineStats:
     #: Committed decisions invalidated because observed cost diverged
     #: from modelled cost (each forces a fresh search).
     tuner_retunes: int = 0
+    # Content-aware elision counters (all zero unless
+    # SessionConfig(elide_transfers=True) or a tuned elide schedule).
+    #: Calls whose replay fingerprint-scanned at least one source.
+    elision_scans: int = 0
+    #: Source chunks fingerprint-scanned across the session.
+    chunks_scanned: int = 0
+    #: Destination chunks whose transfer was elided.
+    chunks_elided: int = 0
+    #: Destination bytes those elided chunks cover.
+    elided_bytes: int = 0
     bytes_moved: int = 0
     modelled_seconds: float = 0.0
     overlap_saved_seconds: float = 0.0
@@ -154,6 +164,29 @@ class EngineStats:
         self.tiles_replayed += tiles
         if peak_scratch_bytes > self.peak_scratch_bytes:
             self.peak_scratch_bytes = peak_scratch_bytes
+
+    def record_elision(self, *, chunks_scanned: int, chunks_elided: int,
+                       elided_bytes: int) -> None:
+        """Account one replay's content-aware elision activity.
+
+        Calls with zero scan work record nothing -- the dense fast
+        path (``elide_transfers`` off, or the tuner deciding scanning
+        cannot pay) must leave every elision counter untouched, which
+        ``tests/test_elision.py`` asserts.
+        """
+        if not chunks_scanned:
+            return
+        self.elision_scans += 1
+        self.chunks_scanned += chunks_scanned
+        self.chunks_elided += chunks_elided
+        self.elided_bytes += elided_bytes
+
+    @property
+    def elision_rate(self) -> float:
+        """Elided chunks over scanned chunks (0.0 when never scanned)."""
+        if not self.chunks_scanned:
+            return 0.0
+        return self.chunks_elided / self.chunks_scanned
 
     def record_fault(self, kind: str) -> None:
         """Account one observed fault (by kind, e.g. ``"bit_flip"``)."""
@@ -227,6 +260,11 @@ class EngineStats:
             "tuner_probes": self.tuner_probes,
             "tuner_observations": self.tuner_observations,
             "tuner_retunes": self.tuner_retunes,
+            "elision_scans": self.elision_scans,
+            "chunks_scanned": self.chunks_scanned,
+            "chunks_elided": self.chunks_elided,
+            "elided_bytes": self.elided_bytes,
+            "elision_rate": self.elision_rate,
             "bytes_moved": self.bytes_moved,
             "modelled_seconds": self.modelled_seconds,
             "overlap_saved_seconds": self.overlap_saved_seconds,
@@ -278,6 +316,13 @@ class EngineStats:
             for label in sorted(self.worker_bands):
                 lines.append(f"    {label:<15s} "
                              f"{self.worker_bands[label]} bands")
+        if self.elision_scans:
+            lines.append("  content elision:")
+            lines.append(f"    scans           {self.elision_scans} calls "
+                         f"({self.chunks_scanned} chunks)")
+            lines.append(f"    chunks elided   {self.chunks_elided} "
+                         f"({self.elision_rate:.1%})")
+            lines.append(f"    bytes elided    {self.elided_bytes}")
         if self.tuner_searches or self.tuner_cache_hits:
             lines.append("  autotuner:")
             lines.append(f"    searches        {self.tuner_searches}")

@@ -38,6 +38,7 @@ import threading
 import numpy as np
 
 from ..errors import AllocationError, TransferError
+from ..reliability.checksum import chunk_digests
 
 
 #: chunk sizes with a native wide dtype; anything else gathers as void.
@@ -128,6 +129,158 @@ def take_chunks_by_table(grouped: np.ndarray, lane_table: np.ndarray,
     return out.view(np.uint8).reshape(ngroups, *flat_table.shape, chunk)
 
 
+#: Chunk count at which the scan samples before committing: below it
+#: both stages always run exactly; above it a deterministic evenly
+#: spaced sample must first *nominate* a stage (a zero chunk in the
+#: sample -> exact zero pass; duplicate sampled content -> digest
+#: pass), so dense traffic pays only the sample read.
+#: Retained write-log entries per arena; older history is dropped and
+#: treated as "anything may have changed" (see ``writes_since``).
+WRITE_LOG_MAX = 64
+
+SCAN_SAMPLE_MIN_CHUNKS = 1 << 13
+#: Evenly spaced chunks the nomination sample reads.
+SCAN_SAMPLE_CHUNKS = 256
+
+#: all-ones pattern of ``(words == 0)`` bool rows packed as one native
+#: integer, per word count with a native width; the packed compare
+#: turns per-chunk zero detection into two full-width vector passes.
+_ZERO_PACKED = {1: np.uint8(0x01), 2: np.uint16(0x0101),
+                4: np.uint32(0x01010101),
+                8: np.uint64(0x0101010101010101)}
+
+
+def scan_chunk_classes(chunks: np.ndarray, ngroups: int | None = None
+                       ) -> tuple[np.ndarray, np.ndarray | None, int]:
+    """Content fingerprint scan: exact zero / duplicate chunk classes.
+
+    ``chunks`` is a ``(..., chunk_bytes)`` uint8 block whose leading
+    axes flatten to ``ngroups * nchunks`` chunks in group-major order
+    (``ngroups`` defaults to the first axis).  Strided views are fine
+    as long as the byte axis is contiguous -- exactly what
+    :meth:`MemoryArena.lane_view` produces -- and the leading axes are
+    never reshaped through a copy.  Returns ``(zero, cls,
+    scanned_bytes)``:
+
+    * ``zero`` -- flat ``(n,)`` bool, chunk is all-zero (byte-exact);
+    * ``cls`` -- flat ``(n,)`` class table where ``cls[f]`` is the flat
+      index of the *first* chunk in the same group with byte-identical
+      content (``cls[f] == f`` for uniques), or **None** when every
+      chunk is its own class -- the common dense outcome, returned
+      without materializing the identity table so callers skip all
+      class bookkeeping;
+    * ``scanned_bytes`` -- bytes the scan actually touched, for the
+      ``elide`` ledger category.
+
+    Above :data:`SCAN_SAMPLE_MIN_CHUNKS` the scan is nomination-gated:
+    a deterministic evenly spaced sample is read first, and each stage
+    only commits when the sample exhibits its pattern -- a zero chunk
+    enables the exact zero pass, duplicate sampled content (equal
+    CRC-seeded digests, :func:`~repro.reliability.checksum
+    .chunk_digests`, within one group) enables the digest pass over
+    live chunks.  Dense traffic therefore pays one sample read and
+    nothing else, while a skipped stage can only *miss* elisions on
+    content the sample did not represent, never mark a chunk zero or
+    duplicate wrongly: every committed class is byte-exact (the zero
+    pass reads all bytes; duplicates are byte-verified against their
+    class representative, digest collisions demote to unique).  Chunks
+    whose byte width is not a multiple of 8 fall back to the exact
+    full-pass zero scan with no duplicate detection.
+    """
+    lead = chunks.shape[:-1]
+    chunk_bytes = chunks.shape[-1]
+    n = 1
+    for dim in lead:
+        n *= dim
+    if ngroups is None:
+        ngroups = lead[0] if lead else 1
+    nchunks = n // ngroups
+    cls = None  # identity until the digest pass commits a duplicate
+
+    def _at(flat: np.ndarray, arr: np.ndarray) -> tuple:
+        """Multi-axis coordinates of flat chunk ids (no lead reshape)."""
+        return np.unravel_index(flat, lead) if len(lead) > 1 else (flat,)
+
+    if chunk_bytes % 8:
+        return ~chunks.any(axis=-1).reshape(n), None, n * chunk_bytes
+    try:
+        words = chunks.view(np.uint64)
+    except (TypeError, ValueError):  # pragma: no cover - exotic strides
+        return ~chunks.any(axis=-1).reshape(n), None, n * chunk_bytes
+    nwords = chunk_bytes // 8
+    scanned = 0
+    scan_zero = scan_dup = True
+    if n >= SCAN_SAMPLE_MIN_CHUNKS:
+        sample = np.linspace(0, n - 1, SCAN_SAMPLE_CHUNKS).astype(np.intp)
+        sw = words[_at(sample, words)].reshape(sample.size, nwords)
+        szero = ~sw.any(axis=1)
+        scan_zero = bool(szero.any())
+        live = np.flatnonzero(~szero)
+        scan_dup = False
+        if live.size > 1:
+            sdig = chunk_digests(sw[live])
+            sg = sample[live] // nchunks
+            order = np.lexsort((sdig, sg))
+            ds, gs = sdig[order], sg[order]
+            scan_dup = bool(((ds[1:] == ds[:-1]) & (gs[1:] == gs[:-1]))
+                            .any())
+        scanned += sample.size * chunk_bytes
+        if not scan_zero and not scan_dup:
+            return np.zeros(n, dtype=bool), None, scanned
+    # Zero pass (exact): ``(words == 0)`` is one full-width vector
+    # compare, and its bool rows pack into one native integer per
+    # chunk, so the all-zero test is a second full-width compare
+    # instead of numpy's much slower short-inner-axis reduction.
+    zero = np.zeros(n, dtype=bool)
+    if scan_zero:
+        eq = (words == 0).reshape(n, nwords)
+        packed = _ZERO_PACKED.get(nwords)
+        if packed is not None:
+            zero = eq.view(packed.dtype).ravel() == packed
+        elif nwords % 8 == 0:
+            zero = (eq.view(np.uint64).reshape(n, nwords // 8)
+                    == _ZERO_PACKED[8]).all(axis=1)
+        else:
+            zero = eq.all(axis=1)
+        scanned += n * chunk_bytes
+    # Digest pass: duplicate classes among live (non-zero) chunks.
+    # Equal (group, digest) pairs nominate; a byte-exact compare
+    # against the class representative (first occurrence) confirms.
+    if scan_dup:
+        flat = np.flatnonzero(~zero)
+        if flat.size > 1:
+            dig = chunk_digests(words[_at(flat, words)].reshape(
+                flat.size, nwords))
+            scanned += flat.size * chunk_bytes
+            g = flat // nchunks
+            order = np.argsort(dig)
+            ds = dig[order]
+            run_start = np.ones(order.size, dtype=bool)
+            run_start[1:] = ds[1:] != ds[:-1]
+            run_id = np.cumsum(run_start) - 1
+            cand = np.bincount(run_id)[run_id] > 1
+            if cand.any():
+                cf, cd, cg = (flat[order[cand]], ds[cand],
+                              g[order[cand]])
+                order2 = np.lexsort((cf, cd, cg))
+                cf2, cd2, cg2 = cf[order2], cd[order2], cg[order2]
+                start2 = np.ones(cf2.size, dtype=bool)
+                start2[1:] = (cd2[1:] != cd2[:-1]) | (cg2[1:] != cg2[:-1])
+                # lexsort keeps flat order inside a class, so the
+                # class head is the first occurrence of that content.
+                rep = cf2[start2][np.cumsum(start2) - 1]
+                dup = rep != cf2
+                if dup.any():
+                    di, ri = cf2[dup], rep[dup]
+                    eq2 = (chunks[_at(di, chunks)] ==
+                           chunks[_at(ri, chunks)]).all(axis=1)
+                    scanned += 2 * di.size * chunk_bytes
+                    if eq2.any():
+                        cls = np.arange(n, dtype=np.intp)
+                        cls[di[eq2]] = ri[eq2]
+    return zero, cls, scanned
+
+
 class MemoryArena:
     """One lane-major uint8 array holding many PEs' MRAM banks.
 
@@ -161,6 +314,15 @@ class MemoryArena:
         # concurrent first touch from worker threads; plain transfers
         # into materialized rows never take it.
         self._grow_lock = threading.Lock()
+        # Content-change log for fingerprint caching: every mutation
+        # notes its column interval under a fresh epoch, and
+        # ``writes_since`` answers "may [lo, hi) have changed after
+        # epoch e?" conservatively -- dropped history and overlaps
+        # both collapse to True, never to a false "unchanged".
+        self._write_epoch = 0
+        self._write_floor = 0
+        self._write_log: list[tuple[int, int, int]] = []
+        self._write_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Row accounting
@@ -227,6 +389,52 @@ class MemoryArena:
             raise TransferError(
                 f"MRAM access [{offset}, {offset + nbytes}) outside "
                 f"[0, {self.mram_bytes})")
+
+    # ------------------------------------------------------------------
+    # Write tracking (fingerprint-cache invalidation)
+    # ------------------------------------------------------------------
+    @property
+    def write_epoch(self) -> int:
+        """Monotonic count of noted content mutations."""
+        return self._write_epoch
+
+    def note_write(self, lo: int, hi: int) -> None:
+        """Record a (possible) content change over columns ``[lo, hi)``.
+
+        Row-agnostic on purpose: the log stays a handful of integers
+        per mutation, and a column overlap on *any* row is enough to
+        force a rescan -- elision plans are cheap to rebuild, wrong
+        ones are not.  Back-to-back writes to the same interval (the
+        steady-state replay pattern) collapse into one entry, so the
+        bounded log never churns under a tight replay loop.
+        """
+        with self._write_lock:
+            self._write_epoch += 1
+            log = self._write_log
+            if log and log[-1][1] == lo and log[-1][2] == hi:
+                log[-1] = (self._write_epoch, lo, hi)
+            else:
+                log.append((self._write_epoch, lo, hi))
+                if len(log) > WRITE_LOG_MAX:
+                    self._write_floor = log[0][0]
+                    del log[0]
+
+    def writes_since(self, epoch: int, lo: int, hi: int) -> bool:
+        """Whether ``[lo, hi)`` may have changed after ``epoch``.
+
+        True whenever a logged interval written after ``epoch``
+        overlaps, and whenever ``epoch`` predates the retained log
+        (dropped entries are assumed to overlap).
+        """
+        with self._write_lock:
+            if epoch < self._write_floor:
+                return True
+            for e, wlo, whi in reversed(self._write_log):
+                if e <= epoch:
+                    break
+                if wlo < hi and lo < whi:
+                    return True
+        return False
 
     # ------------------------------------------------------------------
     # Views
@@ -334,6 +542,17 @@ class MemoryArena:
         """Gather one row band of a :meth:`stream_table` into ``out``."""
         np.take(self.flat_wide(width), table[r0:r1], out=out)
 
+    def take_select(self, table: np.ndarray, width: int,
+                    rows: np.ndarray, out: np.ndarray) -> None:
+        """Gather an arbitrary row subset of a :meth:`stream_table`.
+
+        The elision-aware replay path gathers only the representative
+        output rows (first occurrence of each distinct content class)
+        and fills or aliases the rest, so the expensive strided gather
+        shrinks with the elision rate.
+        """
+        np.take(self.flat_wide(width), table[rows], out=out)
+
     # ------------------------------------------------------------------
     # Bulk transfers
     # ------------------------------------------------------------------
@@ -383,6 +602,7 @@ class MemoryArena:
         if mat.shape[0] != ids.size:
             raise TransferError(
                 f"lane matrix has {mat.shape[0]} rows for {ids.size} PEs")
+        self.note_write(offset, offset + nbytes)
         if view is not None:
             view[:] = mat
             return
@@ -395,12 +615,41 @@ class MemoryArena:
             raise TransferError(
                 f"MRAM writes take 1-D uint8 buffers, got {buf.dtype} "
                 f"ndim={buf.ndim}")
+        self.note_write(offset, offset + buf.size)
         view = self.lane_view(pe_ids, offset, buf.size)
         if view is not None:
             view[:] = buf
             return
         ids = self.touch(pe_ids)
         self._data[:, offset:offset + buf.size][self._rows(ids)] = buf
+
+    def zero_fill_rows(self, pe_ids, offset: int, nbytes: int) -> None:
+        """Make ``nbytes`` at ``offset`` read all-zero on every row.
+
+        Semantically :meth:`fill_rows` with a zero buffer, but
+        verify-first: rows whose region already reads zero are left
+        untouched.  A wide read costs well under half a rewrite, and
+        the caller -- the elision layer's zero-row fill -- hits the
+        already-clean case on every steady-state replay of the same
+        sparse collective, so repeated elisions stop dirtying pages.
+        Concurrency-safe under the arena's disjoint-rows contract:
+        the verify and the conditional write touch only the given
+        rows' byte range.
+        """
+        view = self.lane_view(pe_ids, offset, nbytes)
+        if view is not None:
+            dirty = view.any(axis=1)
+            if dirty.any():
+                self.note_write(offset, offset + nbytes)
+                view[dirty] = 0
+            return
+        ids = self.touch(pe_ids)
+        rows = self._rows(ids)
+        region = self._data[:, offset:offset + nbytes]
+        dirty = region[rows].any(axis=1)
+        if dirty.any():
+            self.note_write(offset, offset + nbytes)
+            region[rows[dirty]] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MemoryArena({self._data.shape[0]} rows @ base "

@@ -85,3 +85,14 @@ class ArenaPeMemory(PeMemory):
     def mram(self) -> np.ndarray:
         """This PE's bank: a zero-copy row view of the arena."""
         return self.arena.row_view(self.pe_id)
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        super().write(offset, data)
+        self.arena.note_write(offset, offset + int(np.asarray(data).size))
+
+    def view(self, offset: int, nbytes: int) -> np.ndarray:
+        # A writable window escapes the arena's write tracking, so its
+        # handout must count as a write for fingerprint-cache safety
+        # (holders may mutate it at any later point).
+        self.arena.note_write(offset, offset + nbytes)
+        return super().view(offset, nbytes)

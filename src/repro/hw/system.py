@@ -385,6 +385,28 @@ class DimmSystem:
         for pe in pe_ids:
             self.memory(pe).write(offset, buf)
 
+    def zero_fill_lanes(self, pe_ids: Sequence[int], offset: int,
+                        nbytes: int) -> None:
+        """Make ``nbytes`` at ``offset`` read all-zero on every PE.
+
+        Semantically :meth:`fill_lanes` with a zero buffer, but
+        verify-first (:meth:`MemoryArena.zero_fill_rows`): regions that
+        already read zero are skipped instead of rewritten.  This is
+        the elision layer's zero-row fill -- back-to-back replays of
+        the same sparse collective hit the already-clean steady state,
+        so repeated elisions pay a read pass, never a write.
+        """
+        if self.vectorized:
+            self._ensure_arena().zero_fill_rows(
+                self._lane_ids(pe_ids), offset, nbytes)
+            return
+        zeros = None
+        for pe in pe_ids:
+            if self.memory(pe).read(offset, nbytes).any():
+                if zeros is None:
+                    zeros = np.zeros(nbytes, dtype=np.uint8)
+                self.memory(pe).write(offset, zeros)
+
     # ------------------------------------------------------------------
     # Compiled-program kernels (injector-free: replay only runs on
     # perfect hardware; the engine routes faulty systems to the
@@ -446,6 +468,26 @@ class DimmSystem:
         arena = self._ensure_arena()
         return id(arena), arena.version
 
+    def content_epoch(self) -> int | None:
+        """Arena write-epoch for fingerprint caching, or None.
+
+        The scalar backend returns None: its per-PE banks keep no
+        shared write log, so content-derived caches (elision plans)
+        are rebuilt on every replay there.
+        """
+        if not self.vectorized:
+            return None
+        return self._ensure_arena().write_epoch
+
+    def content_changed(self, epoch: int, offset: int,
+                        nbytes: int) -> bool:
+        """Whether ``[offset, offset + nbytes)`` may have changed on any
+        PE since ``epoch`` (conservative: True on any doubt)."""
+        if not self.vectorized:
+            return True
+        return self._ensure_arena().writes_since(epoch, offset,
+                                                 offset + nbytes)
+
     def stream_table(self, pe_ids: Sequence[int], ngroups: int,
                      src_offset: int, chunk_bytes: int,
                      lane_table: np.ndarray, slot_table: np.ndarray
@@ -492,6 +534,39 @@ class DimmSystem:
                                                   offset, nbytes)
         return np.stack([self.memory(int(pe)).read(offset, nbytes)
                          for pe in pe_ids])
+
+    def scan_view(self, pe_ids: Sequence[int], offset: int,
+                  nbytes: int) -> np.ndarray:
+        """Read-only ``(len(pe_ids), nbytes)`` window for fingerprint scans.
+
+        The elision layer's source window: zero-copy on the vectorized
+        backend whenever the PE list is a strided run (the layouts the
+        hypercube mapping produces), a gathered copy otherwise.  The
+        returned rows always have a contiguous byte axis, which is what
+        :func:`~repro.hw.arena.scan_chunk_classes` requires.  Callers
+        must treat the window as read-only and finish scanning before
+        writing any destination that may alias it.
+        """
+        if self.vectorized:
+            arena = self._ensure_arena()
+            view = arena.lane_view(self._lane_ids(pe_ids), offset, nbytes)
+            if view is not None:
+                return view
+            return arena.read_rows(self._lane_ids(pe_ids), offset, nbytes)
+        return np.stack([self.memory(int(pe)).view(offset, nbytes)
+                         for pe in pe_ids])
+
+    def take_select_flat(self, table: np.ndarray, width: int,
+                         rows: np.ndarray, out: np.ndarray) -> None:
+        """Gather an arbitrary output-row subset through a stream table.
+
+        The elision-aware gather: only representative rows (first
+        occurrence of each distinct content class) go through the
+        expensive strided arena gather; elided rows are filled or
+        alias-copied from the representatives.  Vectorized backend
+        only (callers check :meth:`stream_token` first).
+        """
+        self._ensure_arena().take_select(table, width, rows, out)
 
     # ------------------------------------------------------------------
     # PE-local kernels over ordered PE lists

@@ -21,6 +21,9 @@ Categories (matching the paper's breakdown figures 4 and 17):
 * ``mpi``        -- inter-host traffic in the multi-host extension.
 * ``retry``      -- reliability backoff waits before re-running a
   faulted collective (see ``repro/reliability/retry.py``).
+* ``elide``      -- content fingerprint scans (zero / duplicate chunk
+  detection) run by elision-aware replay; the scan is what buys the
+  right to *skip* bus/staging charges for elided chunks.
 
 The default parameter values are calibrated so the modelled speedups
 track the ratios reported in the paper (see EXPERIMENTS.md); absolute
@@ -41,15 +44,17 @@ GB = 1e9
 
 CATEGORIES = (
     "bus", "dt", "host_mem", "host_mod", "host_reduce",
-    "pe", "launch", "kernel", "cpu", "mpi", "retry",
+    "pe", "launch", "kernel", "cpu", "mpi", "retry", "elide",
 )
 
 #: Categories counted as "communication" in application breakdowns.
 #: ``retry`` (reliability backoff waits) is communication overhead: the
-#: time is spent waiting to redo a transfer.
+#: time is spent waiting to redo a transfer.  ``elide`` (content
+#: fingerprint scans) likewise rides the communication path: it is the
+#: toll paid to skip part of the transfer.
 COMM_CATEGORIES = (
     "bus", "dt", "host_mem", "host_mod", "host_reduce", "pe", "launch",
-    "mpi", "retry",
+    "mpi", "retry", "elide",
 )
 
 #: Categories that overlap across *independent* collective instances
@@ -69,7 +74,15 @@ OVERLAPPABLE_CATEGORIES = ("bus", "pe", "launch")
 #: tile *i*'s host stage drains while tile *i+1*'s PE stage runs --
 #: the bulk-transfer pipelining the paper's host runtime relies on.
 STREAM_PE_STAGE = ("pe",)
-STREAM_HOST_STAGE = ("bus", "dt", "host_mem", "host_mod", "host_reduce")
+STREAM_HOST_STAGE = ("bus", "dt", "host_mem", "host_mod", "host_reduce",
+                     "elide")
+
+#: Categories that shrink when content-aware elision skips a chunk's
+#: transfer: the bus burst, the byte transpose, and the host staging /
+#: rearrange passes all scale with bytes actually moved.  Fixed
+#: overheads (``launch``) and arithmetic on delivered values
+#: (``host_reduce``, ``pe``) do not.
+ELIDABLE_CATEGORIES = ("bus", "dt", "host_mem", "host_mod")
 
 MOD_CLASSES = ("scalar", "local", "simd", "shuffle")
 
@@ -112,6 +125,11 @@ class MachineParams:
     # Multi-host interconnect (paper throttles MPI to 10 Gbps).
     mpi_gbps: float = 1.25
     mpi_latency_s: float = 2.0e-5
+
+    # Content fingerprint scan (zero / duplicate chunk detection before
+    # a transfer): a contiguous single-pass read + hash over staged
+    # source bytes, streaming at close to host DRAM bandwidth.
+    scan_gbps: float = 30.0
 
     # ------------------------------------------------------------------
     # Pricing helpers (all return seconds)
@@ -180,6 +198,11 @@ class MachineParams:
         """Inter-host transfer of ``nbytes`` in ``messages`` messages."""
         _check_nonneg(nbytes, "nbytes")
         return nbytes / (self.mpi_gbps * GB) + messages * self.mpi_latency_s
+
+    def scan_time(self, nbytes: float) -> float:
+        """Content fingerprint scan over ``nbytes`` of source bytes."""
+        _check_nonneg(nbytes, "nbytes")
+        return nbytes / (self.scan_gbps * GB)
 
     def scaled(self, **overrides: float) -> "MachineParams":
         """Copy with some fields replaced (convenience for sweeps)."""

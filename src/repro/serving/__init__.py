@@ -17,7 +17,7 @@ p50/p99 latency and goodput.
 from ..engine.session_config import SessionConfig
 from .admission import AdmissionQueue, AdmissionStats, PendingRequest
 from .fairness import FairShareScheduler
-from .loadgen import MIXES, LoadGenerator, TenantLoad
+from .loadgen import MIXES, LoadGenerator, TenantLoad, make_moe_mix
 from .server import CollectiveServer, ServerStats, TenantStats
 from .session import Session, TenantSpec
 
@@ -25,5 +25,5 @@ __all__ = [
     "CollectiveServer", "Session", "TenantSpec", "SessionConfig",
     "AdmissionQueue", "AdmissionStats", "PendingRequest",
     "FairShareScheduler", "LoadGenerator", "TenantLoad", "MIXES",
-    "ServerStats", "TenantStats",
+    "make_moe_mix", "ServerStats", "TenantStats",
 ]

@@ -27,6 +27,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Callable
 
+import numpy as np
+
 from ..core.groups import group_size, resolve_dims
 from ..engine.request import CommRequest
 from ..errors import AdmissionRejected, QuotaExceeded, RequestShed
@@ -63,11 +65,49 @@ def _bfs_frontier(round_idx: int,
     return [("alltoall", min(1.0, scale * jitter))]
 
 
+def make_moe_mix(experts: int = 8, sparsity: float = 0.75,
+                 skew: float = 2.0) -> MixFn:
+    """A mixture-of-experts routing mix with tunable content sparsity.
+
+    Each round is one dispatch AlltoAll (tokens to their routed
+    experts) and one combine AlltoAll (expert outputs back), with a
+    quarter-size AllReduce every other round for the shared dense
+    layers.  The exchanges run at full capacity -- MoE buffers are
+    sized for the worst-case expert load -- so request *sizes* never
+    shrink; what varies is *content*: cold experts' capacity segments
+    stay all-zero.  ``sparsity`` is the target zero fraction and
+    ``skew`` the Zipf exponent of expert popularity (higher = hotter
+    head, colder tail).  :func:`seed_moe_payload` reads these knobs
+    back off the mix to write matching structured-sparse activations,
+    which is what content-aware transfer elision
+    (``SessionConfig(elide_transfers=True)``) harvests.
+    """
+    if experts <= 0:
+        raise ValueError(f"experts must be positive, got {experts}")
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    if skew < 0.0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+
+    def moe_route(round_idx: int,
+                  rng: random.Random) -> list[tuple[str, float]]:
+        steps = [("alltoall", 1.0), ("alltoall", 1.0)]
+        if round_idx % 2 == 1:
+            steps.append(("allreduce", 0.25))
+        return steps
+
+    moe_route.experts = experts  # type: ignore[attr-defined]
+    moe_route.sparsity = sparsity  # type: ignore[attr-defined]
+    moe_route.skew = skew  # type: ignore[attr-defined]
+    return moe_route
+
+
 #: Named workload mixes the load generator understands.
 MIXES: dict[str, MixFn] = {
     "dlrm_burst": _dlrm_burst,
     "gnn_epoch": _gnn_epoch,
     "bfs_frontier": _bfs_frontier,
+    "moe_route": make_moe_mix(),
 }
 
 
@@ -143,6 +183,66 @@ class LoadGenerator:
             load.tenant_id: server.session(
                 load.tenant_id, priority=load.priority, weight=load.weight)
             for load in loads}
+
+    def seed_payloads(self, seed: int | None = None) -> dict[str, float]:
+        """Write every tenant's source payloads; returns zero fractions.
+
+        MRAM starts all-zero, which content-aware elision
+        (``SessionConfig(elide_transfers=True)``) would read as a
+        100%-sparse workload -- honest load generation seeds real
+        content first.  Tenants on a MoE mix (:func:`make_moe_mix`)
+        get structured-sparse activations: each source half-slot
+        splits into the mix's ``experts`` capacity segments, a
+        Zipf(``skew``)-weighted router picks the round's hot experts
+        *globally* (real routers go cold on the same experts
+        everywhere, and only globally-cold segments line up into
+        all-zero destination rows an AlltoAll can elide), and cold
+        segments stay zero -- about the mix's ``sparsity`` fraction.
+        Sizing ``experts`` to the communication group makes the
+        segments coincide with AlltoAll's per-destination blocks, the
+        maximum-elision alignment.  Every other mix gets dense nonzero
+        bytes.  Deterministic per seed (defaults to the generator's
+        own); returns tenant id -> achieved zero fraction.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        system = self.server.manager.system
+        pes = self.server.manager.all_pes
+        half = self.slot_bytes // 2
+        # Expert segments split the *request window* (full-scale
+        # requests move base_bytes, not the whole half-slot): only
+        # content the collectives actually transfer can be elided.
+        window = min(self.base_bytes, half)
+        fractions: dict[str, float] = {}
+        for index, load in enumerate(self.loads):
+            mix_fn = MIXES[load.mix]
+            experts = getattr(mix_fn, "experts", 0)
+            region = index * self.region_bytes
+            zero_bytes = 0
+            for slot in range(self.slots):
+                src = region + slot * self.slot_bytes
+                cold = np.zeros(0, dtype=np.intp)
+                if experts:
+                    sparsity = mix_fn.sparsity  # type: ignore[attr-defined]
+                    skew = mix_fn.skew  # type: ignore[attr-defined]
+                    n_cold = min(experts - 1, round(experts * sparsity))
+                    # Zipf popularity: the tail is the likeliest cold.
+                    weight = 1.0 / (np.arange(experts) + 1.0) ** skew
+                    chill = (1.0 / weight) / (1.0 / weight).sum()
+                    cold = rng.choice(experts, size=n_cold, replace=False,
+                                      p=chill)
+                edges = np.linspace(0, window, experts + 1).astype(int) \
+                    if experts else None
+                for pe in pes:
+                    buf = rng.integers(1, 256, half, dtype=np.uint8)
+                    for e in cold:
+                        buf[edges[e]:edges[e + 1]] = 0
+                    system.memory(pe).write(src, buf)
+                if edges is not None:
+                    zero_bytes += int(sum(edges[e + 1] - edges[e]
+                                          for e in cold)) * len(pes)
+            total = window * self.slots * len(pes)
+            fractions[load.tenant_id] = zero_bytes / total if total else 0.0
+        return fractions
 
     def _quantize(self, scale: float) -> int:
         """A request size: ``scale * base``, aligned, never zero."""

@@ -78,6 +78,13 @@ class TenantStats:
     shed: int = 0
     #: Payload bytes of completed requests (the goodput numerator).
     bytes_completed: int = 0
+    #: Source chunks fingerprint-scanned for this tenant's requests
+    #: (0 unless the owned session runs with content-aware elision).
+    chunks_scanned: int = 0
+    #: Destination chunks whose transfer was elided for this tenant.
+    chunks_elided: int = 0
+    #: Destination bytes those elided chunks cover.
+    elided_bytes: int = 0
     #: Modelled completion - arrival seconds, one entry per completion.
     latencies: list[float] = field(default_factory=list)
 
@@ -113,6 +120,9 @@ class TenantStats:
             "rejected": self.rejected,
             "shed": self.shed,
             "bytes_completed": self.bytes_completed,
+            "chunks_scanned": self.chunks_scanned,
+            "chunks_elided": self.chunks_elided,
+            "elided_bytes": self.elided_bytes,
             "p50_ms": self.p50 * 1e3,
             "p99_ms": self.p99 * 1e3,
             "mean_ms": self.mean_latency * 1e3,
@@ -402,6 +412,9 @@ class CollectiveServer:
         tenant_stats = self.stats.tenant(entry.tenant_id)
         tenant_stats.completed += 1
         tenant_stats.bytes_completed += plan_payload_bytes(result.plan)
+        tenant_stats.chunks_scanned += result.chunks_scanned
+        tenant_stats.chunks_elided += result.chunks_elided
+        tenant_stats.elided_bytes += result.elided_bytes
         tenant_stats.latencies.append(self.stats.clock - entry.arrival)
         self.stats.execution_log.append(entry.tenant_id)
         if not entry.future.done():

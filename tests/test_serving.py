@@ -524,7 +524,8 @@ class TestLoadGenerator:
         assert self._run(seed=11) == self._run(seed=11)
 
     def test_mix_registry(self):
-        assert set(MIXES) == {"dlrm_burst", "gnn_epoch", "bfs_frontier"}
+        assert set(MIXES) == {"dlrm_burst", "gnn_epoch", "bfs_frontier",
+                              "moe_route"}
         with pytest.raises(ValueError, match="unknown mix"):
             TenantLoad("x", "mapreduce")
 

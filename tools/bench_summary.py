@@ -31,17 +31,47 @@ def _fmt(value):
     return str(value)
 
 
+def _gate_cell(data: dict) -> str:
+    """Render a report's gate block, whatever shape this gate used.
+
+    Gates are per-benchmark: some reports carry a ``gates`` dict of
+    named thresholds, some a single ``gate``, most none at all (their
+    script exits non-zero instead of recording the check).  Every
+    shape -- including its absence -- must render, never KeyError.
+    """
+    gates = data.get("gates", data.get("gate"))
+    if gates is None:
+        return "-"
+    if isinstance(gates, dict):
+        return ", ".join(f"{k}={_fmt(v)}" for k, v in gates.items()) or "-"
+    return _fmt(gates)
+
+
 def load_reports(directory: Path) -> list[dict]:
-    """All ``BENCH_*.json`` reports in ``directory``, name-sorted."""
+    """All readable ``BENCH_*.json`` reports in ``directory``, name-sorted.
+
+    Resilient by design: new gates append reports with new shapes
+    faster than this reporter learns about them, so a missing key,
+    a non-dict document, or an unparsable file becomes a warning row,
+    not a crash that hides every other benchmark's trajectory.
+    """
     reports = []
     for path in sorted(directory.glob("BENCH_*.json")):
-        with open(path) as handle:
-            data = json.load(handle)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping unreadable {path.name}: {error}",
+                  file=sys.stderr)
+            continue
+        if not isinstance(data, dict):
+            data = {"headline": data}
         reports.append({
             "name": path.stem.removeprefix("BENCH_"),
             "file": path.name,
-            "mode": data.get("mode", "?"),
+            "mode": str(data.get("mode", "?")),
             "headline": data.get("headline", {}),
+            "gates": _gate_cell(data),
             "parity": data.get("parity"),
         })
     return reports
@@ -49,14 +79,15 @@ def load_reports(directory: Path) -> list[dict]:
 
 def render(reports: list[dict]) -> str:
     """The aligned trajectory table."""
-    rows = [("benchmark", "mode", "headline")]
+    rows = [("benchmark", "mode", "gates", "headline")]
     for report in reports:
-        rows.append((report["name"], report["mode"],
+        rows.append((report["name"], report["mode"], report["gates"],
                      _fmt(report["headline"])))
-    widths = [max(len(row[col]) for row in rows) for col in (0, 1)]
+    widths = [max(len(row[col]) for row in rows) for col in (0, 1, 2)]
     lines = []
-    for index, (name, mode, headline) in enumerate(rows):
-        lines.append(f"{name:<{widths[0]}}  {mode:<{widths[1]}}  {headline}")
+    for index, (name, mode, gates, headline) in enumerate(rows):
+        lines.append(f"{name:<{widths[0]}}  {mode:<{widths[1]}}  "
+                     f"{gates:<{widths[2]}}  {headline}")
         if index == 0:
             lines.append("-" * len(lines[0]))
     return "\n".join(lines)
