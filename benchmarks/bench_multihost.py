@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Benchmark rack-scale hierarchical collectives on the compiled engine.
+
+Two gates, one per layer of the multihost stack:
+
+* **engine** -- wall-clock replay: an 8-host hierarchical AlltoAll
+  where every simulated host runs its local phases through the
+  compiled vectorized engine with streamed tiles must beat the scalar
+  interpreted multihost baseline by >= 3x per op in full mode (smoke
+  runs 4 hosts at a relaxed 2.5x for shared-CI-runner noise).  Timed
+  with ``functional=False``: local plans still execute against
+  simulated device memory and the global phase is still compiled and
+  priced on the fabric, but the host-side numpy exchange harness --
+  identical work on both sides, no engine involvement -- is skipped,
+  so the gate measures the replay the engine actually owns.  The
+  end-to-end functional numbers (harness included) are reported
+  alongside, ungated.
+* **selection** -- modelled fabric seconds: across a grid of
+  (primitive x payload x fabric topology), the :class:`GlobalTuner`'s
+  auto-chosen global algorithm may cost at most 1.05x the best fixed
+  algorithm priced on the same fabric.  The tuner is an argmin over
+  the priced candidate set, so this guards the pricing plumbing (a
+  mis-priced candidate or a stale decision cache shows up here).
+
+Before timing, engine outputs are checked bit-exact against the scalar
+interpreted oracle at a moderate size -- for AlltoAll *and* AllReduce,
+on the oversubscribed leaf-spine fabric, with the tuner free to pick
+any algorithm: topology and algorithm shape cost, never bytes.
+
+The script exits non-zero if parity fails or either gate misses::
+
+    PYTHONPATH=src python benchmarks/bench_multihost.py --smoke
+    PYTHONPATH=src python benchmarks/bench_multihost.py   # full gate
+"""
+
+import argparse
+import gc
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.dtypes import INT64
+from repro.engine import SessionConfig
+from repro.multihost import (Fabric, GlobalTuner, MultiHostSystem,
+                             multihost_allreduce, multihost_alltoall)
+
+#: mode -> gate workload.  ``per_pe`` bytes of AlltoAll payload per PE.
+MODES = {
+    "full": {"hosts": 8, "per_pe": 1 << 14, "mram": 1 << 16,
+             "iters": 3, "repeats": 5, "engine_gate": 3.0,
+             "selection_gate": 1.05},
+    "smoke": {"hosts": 4, "per_pe": 1 << 13, "mram": 1 << 15,
+              "iters": 4, "repeats": 6, "engine_gate": 2.5,
+              "selection_gate": 1.05},
+}
+
+#: parity workload (scalar interpreted oracle loops PEs in Python).
+PARITY = {"hosts": 4, "per_pe": 1 << 12, "mram": 1 << 14}
+
+#: The engine-side session under test: every local phase compiled on
+#: the vectorized backend, tiles streamed through the staging arena.
+def engine_config(per_pe):
+    return SessionConfig(backend="vectorized", execution="compiled",
+                         stream_tile_bytes=per_pe)
+
+
+BASELINE_CONFIG = SessionConfig(backend="scalar", execution="interpreted")
+
+#: Selection-gate grid: every (primitive, payload, topology) cell is
+#: priced under the auto tuner and under each fixed algorithm.
+SELECTION_PRIMITIVES = ("allreduce", "reduce_scatter", "allgather",
+                        "alltoall")
+SELECTION_PAYLOADS = (1 << 10, 1 << 20, 8 << 20)
+
+
+def selection_fabrics(hosts):
+    return (
+        ("flat", Fabric.fully_connected(hosts)),
+        ("ring", Fabric.ring(hosts)),
+        ("leaf_spine_oversub",
+         Fabric.leaf_spine(hosts, 2, spine_gbps=0.125)),
+    )
+
+
+def setup(hosts, per_pe, mram, config, *, fabric=None, seed=11):
+    """Fresh multihost system with seeded per-PE inputs."""
+    mh = MultiHostSystem(hosts, ranks_per_channel=1, mram_bytes=mram,
+                         session_config=config, fabric=fabric)
+    rng = np.random.default_rng(seed)
+    elems = per_pe // INT64.itemsize
+    p = mh.pes_per_host
+    for system in mh.systems:
+        values = [rng.integers(1, 100, elems, dtype=np.int64)
+                  for _ in range(p)]
+        system.scatter_elements(range(p), 0, list(values), INT64)
+    return mh
+
+
+def invoke(mh, per_pe, primitive="alltoall", *, functional=True):
+    """One hierarchical collective; src at 0, dst right after it."""
+    fn = multihost_alltoall if primitive == "alltoall" \
+        else multihost_allreduce
+    return fn(mh, per_pe, 0, per_pe, INT64, functional=functional)
+
+
+def check_oracle_parity():
+    """Engine hierarchy vs. the scalar interpreted oracle, bit-exact.
+
+    Runs on the oversubscribed leaf-spine fabric with the tuner free,
+    so parity also covers non-ring global algorithms: the functional
+    exchange is canonical numpy regardless of what the cost model picks.
+    """
+    for primitive in ("alltoall", "allreduce"):
+        outs = {}
+        algorithm = None
+        for mode, config in (("oracle", BASELINE_CONFIG),
+                             ("engine", engine_config(PARITY["per_pe"]))):
+            fabric = Fabric.leaf_spine(PARITY["hosts"], 2,
+                                       spine_gbps=0.125)
+            mh = setup(PARITY["hosts"], PARITY["per_pe"], PARITY["mram"],
+                       config, fabric=fabric)
+            result = invoke(mh, PARITY["per_pe"], primitive)
+            outs[mode] = np.stack([np.stack(host)
+                                   for host in result.outputs])
+            algorithm = result.global_algorithm
+            mh.close()
+        if not np.array_equal(outs["oracle"], outs["engine"]):
+            raise SystemExit(
+                f"PARITY FAIL: engine {primitive} outputs diverge from "
+                f"the scalar interpreted oracle (global algorithm "
+                f"{algorithm})")
+
+
+def time_engine_pair(spec, *, functional):
+    """Steady-state seconds per op, baseline vs engine, AlltoAll.
+
+    Both systems are built and warmed first, then timed in alternating
+    best-of rounds so machine-load drift hits both sides equally.
+    ``functional=False`` times the gated replay; ``functional=True``
+    times the ungated end-to-end path (numpy exchange harness and
+    output collection included).  Returns ``(baseline_seconds,
+    engine_seconds, engine_result)``.
+    """
+    systems = {}
+    for name, config in (("baseline", BASELINE_CONFIG),
+                         ("engine", engine_config(spec["per_pe"]))):
+        mh = setup(spec["hosts"], spec["per_pe"], spec["mram"], config)
+        invoke(mh, spec["per_pe"], functional=functional)  # warm caches
+        systems[name] = mh
+    gc.collect()
+    best = {"baseline": float("inf"), "engine": float("inf")}
+    for _ in range(spec["repeats"]):
+        for name in ("baseline", "engine"):
+            start = time.perf_counter()
+            for _ in range(spec["iters"]):
+                result = invoke(systems[name], spec["per_pe"],
+                                functional=functional)
+            best[name] = min(
+                best[name],
+                (time.perf_counter() - start) / spec["iters"])
+    for mh in systems.values():
+        mh.close()
+    return best["baseline"], best["engine"], result
+
+
+def check_selection(spec):
+    """Auto tuner vs. best fixed algorithm on modelled fabric seconds.
+
+    Returns ``(worst_ratio, cells)`` where each cell records the
+    tuner's pick and the per-algorithm prices for one
+    (primitive, payload, fabric) point.
+    """
+    worst = 0.0
+    cells = []
+    for fabric_name, fabric in selection_fabrics(spec["hosts"]):
+        tuner = GlobalTuner(fabric)
+        for primitive in SELECTION_PRIMITIVES:
+            for nbytes in SELECTION_PAYLOADS:
+                candidates = tuner.candidates(primitive, nbytes)
+                chosen = tuner.choose(primitive, nbytes)
+                fixed_best = min(c.seconds for c in candidates)
+                ratio = (chosen.seconds / fixed_best
+                         if fixed_best > 0 else 1.0)
+                worst = max(worst, ratio)
+                cells.append({
+                    "fabric": fabric_name, "primitive": primitive,
+                    "payload_bytes": nbytes,
+                    "chosen": chosen.describe(),
+                    "chosen_seconds": chosen.seconds,
+                    "fixed_best_seconds": fixed_best,
+                    "ratio": ratio,
+                    "per_algorithm_seconds": {
+                        c.algorithm: c.seconds for c in candidates},
+                })
+    return worst, cells
+
+
+def main(argv=None):
+    """Parse args, check parity, time both gates, write the report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI (4 hosts, relaxed "
+                             "engine gate, same selection gate)")
+    parser.add_argument("--out", default="BENCH_multihost.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    spec = MODES[mode]
+
+    print("[parity] engine hierarchy vs scalar interpreted oracle ...",
+          flush=True)
+    check_oracle_parity()
+
+    base_s, engine_s, result = time_engine_pair(spec, functional=False)
+    speedup = base_s / engine_s
+    print(f"[timing] {spec['hosts']}-host alltoall replay: baseline "
+          f"{base_s * 1e3:.3f}ms, engine {engine_s * 1e3:.3f}ms "
+          f"({speedup:.2f}x)", flush=True)
+    e2e_base, e2e_engine, _ = time_engine_pair(spec, functional=True)
+    print(f"[timing] end-to-end functional (ungated): baseline "
+          f"{e2e_base * 1e3:.3f}ms, engine {e2e_engine * 1e3:.3f}ms "
+          f"({e2e_base / e2e_engine:.2f}x)", flush=True)
+
+    worst_ratio, cells = check_selection(spec)
+    print(f"[selection] {len(cells)} grid cells; worst auto-vs-fixed "
+          f"ratio {worst_ratio:.4f}x", flush=True)
+
+    report = {
+        "mode": mode,
+        "workload": {"collective": "alltoall", "hosts": spec["hosts"],
+                     "pes_per_host": 64,
+                     "per_pe_bytes": spec["per_pe"], "dtype": "int64",
+                     "baseline": "scalar interpreted hierarchy",
+                     "engine": "compiled vectorized, streamed tiles",
+                     "gate_timing": "replay (functional=False; "
+                                    "end-to-end reported ungated)"},
+        "parity": "bit-exact vs scalar interpreted oracle on "
+                  "oversubscribed leaf-spine (alltoall + allreduce)",
+        "gates": {"min_engine_speedup": spec["engine_gate"],
+                  "max_selection_ratio": spec["selection_gate"]},
+        "headline": {"engine_speedup": speedup,
+                     "selection_worst_ratio": worst_ratio,
+                     "global_algorithm": result.global_algorithm,
+                     "fabric_ms": result.fabric_seconds * 1e3},
+        "results": {
+            "replay_baseline_seconds_per_op": base_s,
+            "replay_engine_seconds_per_op": engine_s,
+            "functional_baseline_seconds_per_op": e2e_base,
+            "functional_engine_seconds_per_op": e2e_engine,
+            "functional_speedup": e2e_base / e2e_engine,
+            "modelled_fabric_seconds": result.fabric_seconds,
+            "fabric_bytes": result.fabric_bytes,
+            "selection_grid": cells,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if speedup < spec["engine_gate"]:
+        failures.append(
+            f"engine replay speedup {speedup:.2f}x < "
+            f"{spec['engine_gate']:.1f}x over interpreted baseline")
+    if worst_ratio > spec["selection_gate"]:
+        failures.append(
+            f"auto selection ratio {worst_ratio:.4f}x > "
+            f"{spec['selection_gate']:.2f}x of best fixed algorithm")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: engine {speedup:.2f}x >= {spec['engine_gate']:.1f}x, "
+          f"selection worst {worst_ratio:.4f}x <= "
+          f"{spec['selection_gate']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,13 @@ from functools import lru_cache
 from statistics import fmean
 from typing import Any, Callable, Iterator, Sequence
 
-from ..core.collectives import ABLATION_LADDER, CommPlan, OptConfig, Schedule
+from ..core.collectives import (
+    ABLATION_LADDER,
+    GLOBAL_ALGORITHMS,
+    CommPlan,
+    OptConfig,
+    Schedule,
+)
 from ..core.hypercube import HypercubeManager
 from ..errors import HypercubeError, PidCommError
 from ..hw.system import DimmSystem
@@ -171,10 +177,22 @@ class ScheduleSpace:
     #: Elision axis: ``(False,)`` never scans; ``(False, True)`` lets
     #: the model decide per shape whether fingerprint scanning pays.
     eliding: tuple[bool, ...] = (False,)
+    #: Global-phase algorithm axis, searched only by hierarchical
+    #: (multi-host) runs: the per-host tuner never sets
+    #: ``Schedule.global_algorithm``, the
+    #: :class:`~repro.multihost.GlobalTuner` prices these candidates on
+    #: the fabric and picks per (primitive, payload, topology).  Pin a
+    #: single entry to force one algorithm.
+    global_algorithms: tuple[str, ...] = GLOBAL_ALGORITHMS
 
     @classmethod
-    def from_session(cls, config) -> "ScheduleSpace":
-        """The space a :class:`~repro.engine.SessionConfig` leaves open."""
+    def from_session(cls, config, *,
+                     global_algorithm: str | None = None) -> "ScheduleSpace":
+        """The space a :class:`~repro.engine.SessionConfig` leaves open.
+
+        ``global_algorithm`` (a hierarchical caller's pin) collapses
+        the global-phase axis to that single algorithm.
+        """
         backends = (("vectorized", "scalar") if config.backend is None
                     else (config.backend,))
         executions = {"auto": ("compiled", "interpreted"),
@@ -185,7 +203,10 @@ class ScheduleSpace:
                    streaming="compiled" in executions,
                    band_parallel=config.parallel_workers > 1,
                    eliding=((False, True) if config.elide_transfers
-                            and "compiled" in executions else (False,)))
+                            and "compiled" in executions else (False,)),
+                   global_algorithms=(GLOBAL_ALGORITHMS
+                                      if global_algorithm is None
+                                      else (global_algorithm,)))
 
     @property
     def preferred_backend(self) -> str:

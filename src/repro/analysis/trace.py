@@ -320,6 +320,34 @@ def render_elision(stats) -> str:
     return "\n".join(lines)
 
 
+def render_multihost(stats) -> str:
+    """Render an :class:`~repro.engine.stats.EngineStats` multihost block.
+
+    Example::
+
+        Multihost(4 global phases, fabric 12.400 ms)
+        fabric bytes  786432  (65536 elided)
+        alltoall/exchange     x2  ####################
+        allreduce/ring        x2  ####################
+    """
+    if not stats.global_phases:
+        return "Multihost(no global phases -- single-host session)"
+    elided = (f"  ({stats.elided_fabric_bytes} elided)"
+              if stats.elided_fabric_bytes else "")
+    lines = [f"Multihost({stats.global_phases} global phase"
+             f"{'' if stats.global_phases == 1 else 's'}, "
+             f"fabric {stats.fabric_seconds * 1e3:.3f} ms)",
+             f"fabric bytes  {stats.fabric_bytes}{elided}"]
+    if stats.global_algorithms:
+        longest = max(stats.global_algorithms.values())
+        width = max(len(key) for key in stats.global_algorithms)
+        for key in sorted(stats.global_algorithms):
+            count = stats.global_algorithms[key]
+            lines.append(f"{key:<{width}s} x{count:<4d} "
+                         f"{_bar(count, longest, width=20)}")
+    return "\n".join(lines)
+
+
 def dominant_category(plan: CommPlan, system: DimmSystem) -> str:
     """The category the plan spends most of its modelled time in."""
     breakdown = plan.estimate(system).breakdown()

@@ -3,7 +3,12 @@
 from .config import ABLATION_LADDER, BASELINE, FULL, PR_IM, PR_ONLY, OptConfig
 from .plan import CommPlan, ExecContext, Step
 from .program import CommProgram, ProgramOp, compile_plan
-from .schedule import SCHEDULE_BACKENDS, SCHEDULE_EXECUTIONS, Schedule
+from .schedule import (
+    GLOBAL_ALGORITHMS,
+    SCHEDULE_BACKENDS,
+    SCHEDULE_EXECUTIONS,
+    Schedule,
+)
 from .planner import (
     AR_SCRATCH,
     GATHER_SCRATCH,
@@ -24,6 +29,7 @@ __all__ = [
     "CommPlan", "ExecContext", "Step",
     "CommProgram", "ProgramOp", "compile_plan",
     "Schedule", "SCHEDULE_BACKENDS", "SCHEDULE_EXECUTIONS",
+    "GLOBAL_ALGORITHMS",
     "PLANNERS", "AR_SCRATCH", "GATHER_SCRATCH", "REDUCE_SCRATCH",
     "plan_alltoall", "plan_allgather", "plan_reduce_scatter",
     "plan_allreduce", "plan_gather", "plan_scatter", "plan_reduce",

@@ -32,6 +32,13 @@ SCHEDULE_BACKENDS = ("scalar", "vectorized")
 #: Execution modes a schedule may select.  Unlike the session-level
 #: ``execution="auto"``, a schedule is always fully resolved.
 SCHEDULE_EXECUTIONS = ("interpreted", "compiled")
+#: Global-phase algorithms a hierarchical (multi-host) schedule may
+#: select for the inter-host exchange: the standard ring, recursive
+#: halving/doubling (power-of-two host counts), and the generalized
+#: multi-phase exchange of Kolmakov & Zhang whose phase factors can be
+#: aligned to a rack topology.  ``None`` on a schedule means
+#: single-host (no global phase) or "let the global tuner decide".
+GLOBAL_ALGORITHMS = ("ring", "halving_doubling", "exchange")
 
 
 @dataclass(frozen=True)
@@ -58,6 +65,12 @@ class Schedule:
             the interpreted path is the oracle and never elides.
         rung: The :class:`OptConfig` optimization rung the plan is
             built at.
+        global_algorithm: For hierarchical (multi-host) runs, the
+            inter-host algorithm the global phase executes
+            (:data:`GLOBAL_ALGORITHMS`).  ``None`` for single-host
+            schedules.  Like every other knob it chooses *how* the
+            collective runs, never what it computes: all global
+            algorithms are bit-identical.
     """
 
     backend: str = "scalar"
@@ -67,6 +80,7 @@ class Schedule:
     band_parallel: bool = False
     elide: bool = False
     rung: OptConfig = FULL
+    global_algorithm: str | None = None
 
     def __post_init__(self) -> None:
         """Reject invalid knob combinations at construction."""
@@ -98,6 +112,11 @@ class Schedule:
         if not isinstance(self.rung, OptConfig):
             raise CollectiveError(
                 f"schedule rung must be an OptConfig, got {self.rung!r}")
+        if self.global_algorithm is not None \
+                and self.global_algorithm not in GLOBAL_ALGORITHMS:
+            raise CollectiveError(
+                f"unknown global algorithm {self.global_algorithm!r}; "
+                f"known: {GLOBAL_ALGORITHMS}")
 
     @classmethod
     def default(cls) -> "Schedule":
@@ -146,6 +165,11 @@ class Schedule:
         """Schedule planning at optimization rung ``rung``."""
         return replace(self, rung=rung)
 
+    def with_global_algorithm(self, algorithm: str | None) -> "Schedule":
+        """Schedule whose global (inter-host) phase runs ``algorithm``
+        (None = single-host / tuner-decided)."""
+        return replace(self, global_algorithm=algorithm)
+
     # ------------------------------------------------------------------
     # Identity and reporting
     # ------------------------------------------------------------------
@@ -154,7 +178,7 @@ class Schedule:
         """Hashable identity (used by decision caches and tuner state)."""
         return (self.backend, self.execution, self.tile_bytes,
                 self.fusion_depth, self.band_parallel, self.elide,
-                self.rung.label)
+                self.rung.label, self.global_algorithm)
 
     def describe(self) -> str:
         """Compact one-line label, e.g. ``vectorized/compiled tile=8MiB
@@ -164,8 +188,10 @@ class Schedule:
         fuse = "*" if self.fusion_depth is None else str(self.fusion_depth)
         bands = " bands" if self.band_parallel else ""
         elide = " elide" if self.elide else ""
+        glob = (f" global={self.global_algorithm}"
+                if self.global_algorithm else "")
         return (f"{self.backend}/{self.execution} {tile} fuse={fuse} "
-                f"{self.rung.label}{bands}{elide}")
+                f"{self.rung.label}{bands}{elide}{glob}")
 
     # ------------------------------------------------------------------
     # HeteroCL-style structure assertion

@@ -97,6 +97,19 @@ class EngineStats:
     chunks_elided: int = 0
     #: Destination bytes those elided chunks cover.
     elided_bytes: int = 0
+    # Multi-host counters (all zero outside hierarchical runs; accrue
+    # on host 0's session, which represents the symmetric hosts).
+    #: Global (inter-host) phases executed.
+    global_phases: int = 0
+    #: ``"primitive/algorithm"`` -> times the tuner chose it.
+    global_algorithms: dict[str, int] = field(default_factory=dict)
+    #: Payload bytes global phases put on the inter-host fabric.
+    fabric_bytes: int = 0
+    #: Modelled seconds global phases spent on the fabric.
+    fabric_seconds: float = 0.0
+    #: Fabric bytes skipped by content-aware elision (zero blocks
+    #: crossing as fingerprint markers).
+    elided_fabric_bytes: int = 0
     bytes_moved: int = 0
     modelled_seconds: float = 0.0
     overlap_saved_seconds: float = 0.0
@@ -188,6 +201,17 @@ class EngineStats:
             return 0.0
         return self.chunks_elided / self.chunks_scanned
 
+    def record_global_phase(self, primitive: str, algorithm: str, *,
+                            fabric_bytes: int, fabric_seconds: float,
+                            elided_bytes: int = 0) -> None:
+        """Account one hierarchical collective's inter-host phase."""
+        self.global_phases += 1
+        key = f"{primitive}/{algorithm}"
+        self.global_algorithms[key] = self.global_algorithms.get(key, 0) + 1
+        self.fabric_bytes += fabric_bytes
+        self.fabric_seconds += fabric_seconds
+        self.elided_fabric_bytes += elided_bytes
+
     def record_fault(self, kind: str) -> None:
         """Account one observed fault (by kind, e.g. ``"bit_flip"``)."""
         self.faults_seen[kind] = self.faults_seen.get(kind, 0) + 1
@@ -265,6 +289,11 @@ class EngineStats:
             "chunks_elided": self.chunks_elided,
             "elided_bytes": self.elided_bytes,
             "elision_rate": self.elision_rate,
+            "global_phases": self.global_phases,
+            "global_algorithms": dict(self.global_algorithms),
+            "fabric_bytes": self.fabric_bytes,
+            "fabric_seconds": self.fabric_seconds,
+            "elided_fabric_bytes": self.elided_fabric_bytes,
             "bytes_moved": self.bytes_moved,
             "modelled_seconds": self.modelled_seconds,
             "overlap_saved_seconds": self.overlap_saved_seconds,
@@ -323,6 +352,18 @@ class EngineStats:
             lines.append(f"    chunks elided   {self.chunks_elided} "
                          f"({self.elision_rate:.1%})")
             lines.append(f"    bytes elided    {self.elided_bytes}")
+        if self.global_phases:
+            lines.append("  multihost:")
+            lines.append(f"    global phases   {self.global_phases}")
+            lines.append(f"    fabric bytes    {self.fabric_bytes}")
+            lines.append(f"    fabric time     "
+                         f"{self.fabric_seconds * 1e3:.3f} ms")
+            if self.elided_fabric_bytes:
+                lines.append(f"    fabric elided   "
+                             f"{self.elided_fabric_bytes} B")
+            for key in sorted(self.global_algorithms):
+                lines.append(f"    {key:<22s} "
+                             f"x{self.global_algorithms[key]}")
         if self.tuner_searches or self.tuner_cache_hits:
             lines.append("  autotuner:")
             lines.append(f"    searches        {self.tuner_searches}")

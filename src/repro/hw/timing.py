@@ -18,7 +18,12 @@ Categories (matching the paper's breakdown figures 4 and 17):
   transfer setup).
 * ``kernel``     -- application compute on the PEs.
 * ``cpu``        -- application compute on a CPU-only system.
-* ``mpi``        -- inter-host traffic in the multi-host extension.
+* ``mpi``        -- inter-host traffic in the multi-host extension
+  (flat single-link pricing via :class:`MpiSimulator`).
+* ``fabric``     -- inter-host traffic priced on a topology-aware
+  :class:`~repro.multihost.Fabric` link graph (per-link congestion,
+  heterogeneous bandwidths); the hierarchical collectives charge their
+  global phase here.
 * ``retry``      -- reliability backoff waits before re-running a
   faulted collective (see ``repro/reliability/retry.py``).
 * ``elide``      -- content fingerprint scans (zero / duplicate chunk
@@ -44,7 +49,7 @@ GB = 1e9
 
 CATEGORIES = (
     "bus", "dt", "host_mem", "host_mod", "host_reduce",
-    "pe", "launch", "kernel", "cpu", "mpi", "retry", "elide",
+    "pe", "launch", "kernel", "cpu", "mpi", "fabric", "retry", "elide",
 )
 
 #: Categories counted as "communication" in application breakdowns.
@@ -54,7 +59,7 @@ CATEGORIES = (
 #: toll paid to skip part of the transfer.
 COMM_CATEGORIES = (
     "bus", "dt", "host_mem", "host_mod", "host_reduce", "pe", "launch",
-    "mpi", "retry", "elide",
+    "mpi", "fabric", "retry", "elide",
 )
 
 #: Categories that overlap across *independent* collective instances
@@ -196,8 +201,27 @@ class MachineParams:
 
     def mpi_time(self, nbytes: float, messages: int = 1) -> float:
         """Inter-host transfer of ``nbytes`` in ``messages`` messages."""
+        return self.link_time(nbytes, messages=messages)
+
+    def link_time(self, nbytes: float, messages: int = 1, *,
+                  gbps: float | None = None,
+                  latency_s: float | None = None) -> float:
+        """Transfer time on one inter-host link.
+
+        Defaults to the testbed's throttled MPI link
+        (:attr:`mpi_gbps` / :attr:`mpi_latency_s`); ``gbps`` /
+        ``latency_s`` override per link, so a heterogeneous
+        :class:`~repro.multihost.Fabric` and the flat
+        :class:`~repro.multihost.MpiSimulator` price one link the same
+        way.
+        """
         _check_nonneg(nbytes, "nbytes")
-        return nbytes / (self.mpi_gbps * GB) + messages * self.mpi_latency_s
+        rate = self.mpi_gbps if gbps is None else gbps
+        latency = self.mpi_latency_s if latency_s is None else latency_s
+        if rate <= 0:
+            raise PidCommError(f"link bandwidth must be positive, got {rate}")
+        _check_nonneg(latency, "latency_s")
+        return nbytes / (rate * GB) + messages * latency
 
     def scan_time(self, nbytes: float) -> float:
         """Content fingerprint scan over ``nbytes`` of source bytes."""

@@ -5,6 +5,19 @@ throttled to 10 Gbps (high-speed ethernet).  We model the standard
 ring-based collective costs -- transfer volume proportional to
 ``(N-1)/N`` as the paper itself notes -- plus per-message latency, and
 provide functional (numpy) counterparts for correctness tests.
+
+Link bandwidth and latency come from
+:class:`~repro.hw.timing.MachineParams` (``mpi_gbps`` /
+``mpi_latency_s``, defaulting to the paper's throttled 10 Gbps) and can
+be overridden per simulator, so a single-link setup and a
+single-bandwidth :class:`~repro.multihost.Fabric` price one message
+identically (both route through :meth:`MachineParams.link_time`).
+
+The topology-aware hierarchy in ``hierarchical.py`` prices its global
+phase on a :class:`~repro.multihost.Fabric` instead; this class
+remains the flat-cost reference and the *functional* global exchange
+every algorithm shares (which is what makes all global algorithms
+bit-identical).
 """
 
 from __future__ import annotations
@@ -21,14 +34,47 @@ from ..hw.timing import MachineParams
 
 @dataclass
 class MpiSimulator:
-    """Cost + functional model of MPI collectives among ``num_hosts``."""
+    """Cost + functional model of MPI collectives among ``num_hosts``.
+
+    Args:
+        params: Machine parameters supplying the default link rate.
+        num_hosts: Participating hosts.
+        gbps: Per-link bandwidth override in GB/s (None = the
+            testbed's ``params.mpi_gbps``).
+        latency_s: Per-message latency override (None =
+            ``params.mpi_latency_s``).
+    """
 
     params: MachineParams
     num_hosts: int
+    gbps: float | None = None
+    latency_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_hosts < 1:
             raise CollectiveError("MPI needs at least one host")
+        if self.gbps is not None and self.gbps <= 0:
+            raise CollectiveError(
+                f"MPI bandwidth must be positive, got {self.gbps}")
+        if self.latency_s is not None and self.latency_s < 0:
+            raise CollectiveError(
+                f"MPI latency must be >= 0, got {self.latency_s}")
+
+    @property
+    def link_gbps(self) -> float:
+        """Effective link bandwidth (override or machine default)."""
+        return self.gbps if self.gbps is not None else self.params.mpi_gbps
+
+    @property
+    def link_latency_s(self) -> float:
+        """Effective per-message latency (override or machine default)."""
+        return (self.latency_s if self.latency_s is not None
+                else self.params.mpi_latency_s)
+
+    def _time(self, nbytes: float, messages: int) -> float:
+        return self.params.link_time(nbytes, messages=messages,
+                                     gbps=self.gbps,
+                                     latency_s=self.latency_s)
 
     # ------------------------------------------------------------------
     # Cost model (seconds)
@@ -41,7 +87,7 @@ class MpiSimulator:
         """Ring allreduce: 2 (N-1)/N volume, 2(N-1) messages."""
         if self.num_hosts == 1:
             return 0.0
-        return self.params.mpi_time(
+        return self._time(
             2.0 * self._ring_factor() * nbytes_per_host,
             messages=2 * (self.num_hosts - 1))
 
@@ -49,7 +95,7 @@ class MpiSimulator:
         """Pairwise alltoall: (N-1)/N of each host's buffer crosses."""
         if self.num_hosts == 1:
             return 0.0
-        return self.params.mpi_time(
+        return self._time(
             self._ring_factor() * nbytes_per_host,
             messages=self.num_hosts - 1)
 
@@ -57,7 +103,7 @@ class MpiSimulator:
         """Ring allgather: each host's share crosses once."""
         if self.num_hosts == 1:
             return 0.0
-        return self.params.mpi_time(
+        return self._time(
             self._ring_factor() * nbytes_per_host * self.num_hosts,
             messages=self.num_hosts - 1)
 
@@ -65,7 +111,7 @@ class MpiSimulator:
         """Ring reduce-scatter: (N-1)/N of the buffer crosses."""
         if self.num_hosts == 1:
             return 0.0
-        return self.params.mpi_time(
+        return self._time(
             self._ring_factor() * nbytes_per_host,
             messages=self.num_hosts - 1)
 
@@ -78,6 +124,13 @@ class MpiSimulator:
         self._check(buffers)
         reduced = op.reduce_axis(np.stack(buffers), axis=0)
         return [reduced.copy() for _ in buffers]
+
+    def allgather(self, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Concatenate per-host contributions; every host gets the whole."""
+        self._check(buffers)
+        full = np.concatenate([np.asarray(buf).reshape(-1)
+                               for buf in buffers])
+        return [full.copy() for _ in buffers]
 
     def alltoall(self, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Host h's buffer is num_hosts blocks; block g goes to host g."""

@@ -379,3 +379,120 @@ class TestLongSweep:
                                  drop_rate=0.003, timeout_rate=0.003)
 
         _sweep(seed=434343, cases=200, injector_factory=injector_factory)
+
+class TestMultihostSweep:
+    """Rack-scale hierarchy: every fabric topology and pinned global
+    algorithm must stay bit-identical to the global reference."""
+
+    TOPOLOGIES = ("fully_connected", "ring", "leaf_spine")
+
+    @staticmethod
+    def _fabric(kind: str, hosts: int):
+        from repro.multihost import Fabric
+        if kind == "ring" and hosts >= 2:
+            return Fabric.ring(hosts)
+        if kind == "leaf_spine" and hosts % 2 == 0 and hosts >= 4:
+            return Fabric.leaf_spine(hosts, 2, spine_gbps=0.25)
+        return Fabric.fully_connected(hosts)
+
+    def _run_multihost_case(self, rng, hosts, topology, algorithm,
+                            primitive, elide=False, sparsify=False):
+        from repro.multihost import (MultiHostSystem, multihost_allgather,
+                                     multihost_allreduce,
+                                     multihost_alltoall,
+                                     multihost_reduce_scatter)
+        from repro.engine import SessionConfig
+        if algorithm == "halving_doubling" and hosts & (hosts - 1):
+            algorithm = None  # inapplicable pin: let the tuner pick
+        mh = MultiHostSystem(
+            hosts, ranks_per_channel=1, mram_bytes=1 << 16,
+            session_config=SessionConfig(backend="vectorized",
+                                         elide_transfers=elide),
+            fabric=self._fabric(topology, hosts),
+            global_algorithm=algorithm)
+        tp = mh.total_pes
+        if primitive == "allgather":
+            elems = int(rng.integers(1, 4)) * 2
+            out_elems = tp * elems
+        else:
+            elems = tp * int(rng.integers(1, 3))
+            out_elems = (elems // tp if primitive == "reduce_scatter"
+                         else elems)
+        buf = mh.alloc(elems * 8)
+        out = mh.alloc(out_elems * 8)
+        inputs = [rng.integers(-100, 100, elems) for _ in range(tp)]
+        if sparsify:
+            zero = rng.random(tp) < 0.7
+            inputs = [np.zeros(elems, dtype=np.int64) if z else v
+                      for v, z in zip(inputs, zero)]
+        for gpe, values in enumerate(inputs):
+            mh.write_pe(gpe, buf, values, INT64)
+        run = {"allreduce": lambda: multihost_allreduce(
+                   mh, elems * 8, buf, out, INT64, SUM),
+               "alltoall": lambda: multihost_alltoall(
+                   mh, elems * 8, buf, out, INT64),
+               "reduce_scatter": lambda: multihost_reduce_scatter(
+                   mh, elems * 8, buf, out, INT64, SUM),
+               "allgather": lambda: multihost_allgather(
+                   mh, elems * 8, buf, out, INT64)}[primitive]
+        result = run()
+        expect = {"allreduce": lambda: ref.allreduce(inputs, SUM),
+                  "alltoall": lambda: ref.alltoall(inputs),
+                  "reduce_scatter": lambda: ref.reduce_scatter(inputs, SUM),
+                  "allgather": lambda: ref.allgather(inputs)}[primitive]()
+        for gpe in range(tp):
+            np.testing.assert_array_equal(
+                mh.read_pe(gpe, out, out_elems, INT64), expect[gpe])
+        if algorithm is not None and hosts > 1:
+            assert result.global_algorithm == algorithm
+        mh.close()
+        return result
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_topology_sweep_matches_reference(self, topology):
+        rng = np.random.default_rng(606)
+        primitives = ("allreduce", "alltoall", "reduce_scatter",
+                      "allgather")
+        for hosts in (2, 4):
+            for primitive in primitives:
+                self._run_multihost_case(rng, hosts, topology, None,
+                                         primitive)
+
+    def test_algorithm_pin_sweep_matches_reference(self):
+        from repro.multihost import GLOBAL_ALGORITHMS
+        rng = np.random.default_rng(707)
+        for algorithm in GLOBAL_ALGORITHMS:
+            for hosts in (3, 4):
+                self._run_multihost_case(rng, hosts, "fully_connected",
+                                         algorithm, "alltoall")
+
+    def test_sparse_eliding_sweep_matches_reference(self):
+        rng = np.random.default_rng(808)
+        elided = 0
+        for primitive in ("alltoall", "allreduce"):
+            for _ in range(3):
+                result = self._run_multihost_case(
+                    rng, 2, "fully_connected", None, primitive,
+                    elide=True, sparsify=True)
+                elided += result.elided_fabric_bytes
+        assert elided > 0, "sparse multihost sweep never elided bytes"
+
+
+@pytest.mark.fuzz
+class TestLongMultihostSweep:
+    """Excluded from tier-1; run with ``-m fuzz``."""
+
+    def test_long_topology_algorithm_grid(self):
+        from repro.multihost import GLOBAL_ALGORITHMS
+        sweep = TestMultihostSweep()
+        rng = np.random.default_rng(919191)
+        primitives = ("allreduce", "alltoall", "reduce_scatter",
+                      "allgather")
+        for topology in TestMultihostSweep.TOPOLOGIES:
+            for algorithm in (None,) + GLOBAL_ALGORITHMS:
+                for hosts in (2, 3, 4, 8):
+                    for primitive in primitives:
+                        sweep._run_multihost_case(
+                            rng, hosts, topology, algorithm, primitive,
+                            elide=bool(rng.integers(2)),
+                            sparsify=bool(rng.integers(2)))

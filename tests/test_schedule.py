@@ -81,7 +81,7 @@ class TestScheduleValidation:
              .with_tile(1 << 20).fused(2).with_band_parallel()
              .with_rung(BASELINE))
         assert s.signature == ("vectorized", "compiled", 1 << 20, 2,
-                               True, False, "Baseline")
+                               True, False, "Baseline", None)
         assert s.untiled().tile_bytes is None
 
     def test_with_execution_interpreted_untiles(self):

@@ -66,6 +66,9 @@ def load_reports(directory: Path) -> list[dict]:
             continue
         if not isinstance(data, dict):
             data = {"headline": data}
+        results = data.get("results")
+        fabric = (results.get("modelled_fabric_seconds")
+                  if isinstance(results, dict) else None)
         reports.append({
             "name": path.stem.removeprefix("BENCH_"),
             "file": path.name,
@@ -73,21 +76,31 @@ def load_reports(directory: Path) -> list[dict]:
             "headline": data.get("headline", {}),
             "gates": _gate_cell(data),
             "parity": data.get("parity"),
+            "fabric_seconds": fabric,
         })
     return reports
 
 
 def render(reports: list[dict]) -> str:
-    """The aligned trajectory table."""
-    rows = [("benchmark", "mode", "gates", "headline")]
+    """The aligned trajectory table.
+
+    ``fabric s`` is the modelled inter-host fabric time a report
+    carries next to its wall-clock headline (multihost gates only;
+    ``-`` elsewhere) -- the modelled-cost companion to the ledger
+    categories the per-benchmark JSONs break out.
+    """
+    rows = [("benchmark", "mode", "gates", "fabric s", "headline")]
     for report in reports:
+        fabric = report.get("fabric_seconds")
         rows.append((report["name"], report["mode"], report["gates"],
+                     "-" if fabric is None else _fmt(fabric),
                      _fmt(report["headline"])))
-    widths = [max(len(row[col]) for row in rows) for col in (0, 1, 2)]
+    widths = [max(len(row[col]) for row in rows) for col in (0, 1, 2, 3)]
     lines = []
-    for index, (name, mode, gates, headline) in enumerate(rows):
+    for index, (name, mode, gates, fabric, headline) in enumerate(rows):
         lines.append(f"{name:<{widths[0]}}  {mode:<{widths[1]}}  "
-                     f"{gates:<{widths[2]}}  {headline}")
+                     f"{gates:<{widths[2]}}  {fabric:<{widths[3]}}  "
+                     f"{headline}")
         if index == 0:
             lines.append("-" * len(lines[0]))
     return "\n".join(lines)
